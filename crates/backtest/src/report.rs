@@ -1,0 +1,210 @@
+//! Paper-style table rendering and CSV export.
+
+use crate::correctness::CorrectnessRow;
+use crate::cost::AzRow;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A simple aligned ASCII table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics when the arity differs from the header.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let line = |out: &mut String| {
+            let total: usize = widths.iter().sum::<usize>() + 3 * widths.len() + 1;
+            let _ = writeln!(out, "{}", "-".repeat(total));
+        };
+        line(&mut out);
+        let _ = write!(out, "|");
+        for (h, w) in self.headers.iter().zip(&widths) {
+            let _ = write!(out, " {h:>w$} |");
+        }
+        let _ = writeln!(out);
+        line(&mut out);
+        for row in &self.rows {
+            let _ = write!(out, "|");
+            for (cell, w) in row.iter().zip(&widths) {
+                let _ = write!(out, " {cell:>w$} |");
+            }
+            let _ = writeln!(out);
+        }
+        line(&mut out);
+        out
+    }
+
+    /// Writes the table as CSV.
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        std::fs::write(path, out)
+    }
+}
+
+/// Formats a fraction as a paper-style percentage ("27.0%").
+pub fn pct(f: f64) -> String {
+    format!("{:.1}%", f * 100.0)
+}
+
+/// Builds the Table 1 rendering from correctness rows.
+pub fn table1(rows: &[CorrectnessRow], probability: f64, combos: usize) -> Table {
+    let mut t = Table::new(
+        &format!(
+            "Table 1: Backtested correctness fractions over {combos} AZ x type combos \
+             (target p = {probability})"
+        ),
+        &["Method", "<0.99", "0.99", "1"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.policy.label().to_string(),
+            pct(r.below),
+            pct(r.at),
+            pct(r.perfect),
+        ]);
+    }
+    t
+}
+
+/// Builds the Table 4/5 rendering from AZ rows.
+pub fn cost_table(rows: &[AzRow], probability: f64, table_no: u8) -> Table {
+    let mut t = Table::new(
+        &format!(
+            "Table {table_no}: On-demand vs DrAFTS-based strategy cost, durability {probability}"
+        ),
+        &["AZ", "On-demand Cost", "Strategy Cost", "Savings"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.az.name(),
+            format!("${:.1}", r.savings.od_cost.dollars()),
+            format!("${:.1}", r.savings.strategy_cost.dollars()),
+            format!("{:.2}%", r.savings_pct()),
+        ]);
+    }
+    t
+}
+
+/// Renders an (x, y) series as a two-column CSV string (figures).
+pub fn series_csv(header: (&str, &str), points: &[(f64, f64)]) -> String {
+    let mut out = format!("{},{}\n", header.0, header.1);
+    for (x, y) in points {
+        let _ = writeln!(out, "{x},{y}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Policy;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("Demo", &["A", "LongHeader"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["333".into(), "4".into()]);
+        let s = t.render();
+        assert!(s.contains("Demo"));
+        assert!(s.contains("| 333 |"));
+        let widths: Vec<usize> = s
+            .lines()
+            .filter(|l| l.starts_with('|'))
+            .map(|l| l.len())
+            .collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "aligned rows");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn row_arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_writing() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let dir = std::env::temp_dir().join("drafts_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        t.write_csv(&path).unwrap();
+        let s = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(s, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn table1_formatting() {
+        let rows = vec![CorrectnessRow {
+            policy: Policy::Drafts,
+            below: 0.002,
+            at: 0.27,
+            perfect: 0.728,
+        }];
+        let t = table1(&rows, 0.99, 452);
+        let s = t.render();
+        assert!(s.contains("DrAFTS"));
+        assert!(s.contains("0.2%"));
+        assert!(s.contains("27.0%"));
+        assert!(s.contains("72.8%"));
+    }
+
+    #[test]
+    fn series_csv_format() {
+        let s = series_csv(("x", "y"), &[(1.0, 2.0), (3.0, 4.5)]);
+        assert_eq!(s, "x,y\n1,2\n3,4.5\n");
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(0.728), "72.8%");
+        assert_eq!(pct(0.0), "0.0%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+}

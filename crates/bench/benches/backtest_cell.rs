@@ -1,0 +1,31 @@
+//! One Table-1 combo cell end to end: trace generation, request
+//! population, the full sweep and all four policies.
+
+use backtest::engine::{self, BacktestConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use spotmarket::{Az, Catalog, Combo};
+use std::hint::black_box;
+
+fn bench_backtest_cell(c: &mut Criterion) {
+    let cfg = BacktestConfig {
+        days: 45,
+        warmup_days: 18,
+        requests_per_combo: 60,
+        probability: 0.99,
+        ..BacktestConfig::default()
+    };
+    let cat = Catalog::standard();
+    let combo = Combo::new(
+        Az::parse("us-west-2b").unwrap(),
+        cat.type_id("c4.xlarge").unwrap(),
+    );
+    let mut g = c.benchmark_group("backtest");
+    g.sample_size(10);
+    g.bench_function("table1_cell_45d_60req", |b| {
+        b.iter(|| black_box(engine::run_combo(&cfg, cat, black_box(combo))).tightness())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_backtest_cell);
+criterion_main!(benches);

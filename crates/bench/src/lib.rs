@@ -1,0 +1,46 @@
+//! Shared fixtures for the Criterion benches.
+//!
+//! Eight bench targets cover the kernels behind every experiment and the
+//! ablations DESIGN.md calls out:
+//!
+//! * `qbets` — batch vs incremental QBETS updates (the §3.3 claim that
+//!   predictor state updates in milliseconds),
+//! * `orderstat` — treap multiset vs the sorted-`Vec` oracle,
+//! * `binomial` — log-space CDF kernels and the bound inversion,
+//! * `market` — clearing-engine throughput,
+//! * `tracegen` — price-trace generation,
+//! * `predictor` — end-to-end DrAFTS prediction (batch) and quote (sweep),
+//! * `duration` — duration-series derivation: segment tree vs linear scan,
+//! * `backtest_cell` — one Table-1 combo cell end to end.
+
+use spotmarket::tracegen::{self, TraceConfig};
+use spotmarket::{Az, Catalog, Combo, Price, PriceHistory};
+
+/// A standard 30-day choppy history for kernel benches.
+pub fn bench_history() -> PriceHistory {
+    let cat = Catalog::standard();
+    let combo = Combo::new(
+        Az::parse("us-west-2a").unwrap(),
+        cat.type_id("c3.xlarge").unwrap(),
+    );
+    tracegen::generate(combo, cat, &TraceConfig::days(30, 4242))
+}
+
+/// The On-demand anchor for [`bench_history`]'s combo.
+pub fn bench_od() -> Price {
+    let cat = Catalog::standard();
+    let ty = cat.type_id("c3.xlarge").unwrap();
+    cat.od_price(ty, spotmarket::Region::UsWest2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_usable() {
+        let h = bench_history();
+        assert!(h.len() > 5000);
+        assert!(bench_od() > Price::ZERO);
+    }
+}

@@ -1,0 +1,238 @@
+//! Bid–duration graphs (paper Figure 4 and the DrAFTS service payload).
+//!
+//! A graph is the list of (bid, guaranteed duration) pairs the service
+//! publishes for one combo at one probability level: the minimum bid, then
+//! +5% steps up to 4x the minimum, each paired with its QBETS duration
+//! lower bound. "Using this graph ... a client of this service can
+//! determine what maximum bid to use to ensure a specific instance
+//! duration" (§4.3).
+
+use crate::predictor::{BidPrediction, DraftsPredictor};
+use spotmarket::Price;
+
+/// One point of the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphPoint {
+    /// Maximum bid.
+    pub bid: Price,
+    /// Guaranteed duration in seconds at the graph's probability level.
+    pub durability_secs: u64,
+}
+
+/// A bid–duration graph for one combo at one probability level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BidDurationGraph {
+    /// Target probability of the durability guarantee.
+    pub probability: f64,
+    /// Prediction timestamp (seconds).
+    pub computed_at: u64,
+    points: Vec<GraphPoint>,
+}
+
+impl BidDurationGraph {
+    /// Computes the graph at update index `upto`.
+    ///
+    /// The grid anchors on the step-1 minimum bid, falling back to one tick
+    /// above the observed maximum when the current segment cannot support a
+    /// bound (fresh post-change-point segments). Returns `None` only when
+    /// no grid point's duration series supports a bound either. Points
+    /// whose duration series cannot support a bound are skipped.
+    pub fn compute(predictor: &DraftsPredictor<'_>, upto: usize, probability: f64) -> Option<Self> {
+        let min = predictor.min_bid_or_max(upto, probability);
+        let mut points = Vec::new();
+        for bid in predictor.bid_grid(min) {
+            if let Some(durability_secs) = predictor.durability(upto, bid, probability) {
+                points.push(GraphPoint {
+                    bid,
+                    durability_secs,
+                });
+            }
+        }
+        // Enforce monotone durations (rounding on the shared grid can
+        // produce equal neighbours; durations are theoretically monotone
+        // in bid, so take the running maximum defensively).
+        let mut best = 0u64;
+        for p in &mut points {
+            best = best.max(p.durability_secs);
+            p.durability_secs = best;
+        }
+        (!points.is_empty()).then_some(Self {
+            probability,
+            computed_at: 0,
+            points,
+        })
+    }
+
+    /// The graph points, ascending in bid.
+    pub fn points(&self) -> &[GraphPoint] {
+        &self.points
+    }
+
+    /// The minimum published bid.
+    pub fn min_bid(&self) -> Price {
+        self.points[0].bid
+    }
+
+    /// Smallest published bid guaranteeing at least `required_secs`.
+    pub fn bid_for_duration(&self, required_secs: u64) -> Option<BidPrediction> {
+        self.points
+            .iter()
+            .find(|p| p.durability_secs >= required_secs)
+            .map(|p| BidPrediction {
+                bid: p.bid,
+                durability_secs: p.durability_secs,
+            })
+    }
+
+    /// Guaranteed duration of the largest published bid `<= bid`
+    /// (conservative lookup for off-grid bids).
+    pub fn duration_for_bid(&self, bid: Price) -> Option<u64> {
+        self.points
+            .iter()
+            .rev()
+            .find(|p| p.bid <= bid)
+            .map(|p| p.durability_secs)
+    }
+
+    /// Stamps the computation time (used by the service cache).
+    pub fn with_timestamp(mut self, at: u64) -> Self {
+        self.computed_at = at;
+        self
+    }
+
+    /// Renders the machine-readable form the service returns: one
+    /// `bid_dollars,duration_secs` row per point.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("bid_usd,durability_secs\n");
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:.4},{}\n",
+                p.bid.dollars(),
+                p.durability_secs
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::DraftsConfig;
+    use spotmarket::archetype::Archetype;
+    use spotmarket::tracegen::{generate_with_archetype, TraceConfig};
+    use spotmarket::{Az, Catalog, Combo, PriceHistory};
+
+    fn history() -> PriceHistory {
+        let cat = Catalog::standard();
+        let combo = Combo::new(
+            Az::parse("us-east-1b").unwrap(),
+            cat.type_id("c3.4xlarge").unwrap(),
+        );
+        generate_with_archetype(combo, cat, &TraceConfig::days(30, 21), Archetype::Choppy)
+    }
+
+    fn cfg() -> DraftsConfig {
+        DraftsConfig {
+            changepoint: None,
+            autocorr: false,
+            duration_stride: 5,
+            ..DraftsConfig::default()
+        }
+    }
+
+    #[test]
+    fn graph_is_monotone_and_spans_the_grid() {
+        let h = history();
+        let pred = DraftsPredictor::new(&h, cfg());
+        let g = BidDurationGraph::compute(&pred, h.len() - 1, 0.95).unwrap();
+        assert!(g.points().len() > 30);
+        assert!(g
+            .points()
+            .windows(2)
+            .all(|w| w[0].bid < w[1].bid && w[0].durability_secs <= w[1].durability_secs));
+        let span = g.points().last().unwrap().bid.ticks() as f64 / g.min_bid().ticks() as f64;
+        assert!((3.9..=4.1).contains(&span), "span {span}");
+    }
+
+    #[test]
+    fn bid_for_duration_finds_the_knee() {
+        let h = history();
+        let pred = DraftsPredictor::new(&h, cfg());
+        let g = BidDurationGraph::compute(&pred, h.len() - 1, 0.95).unwrap();
+        let one_hour = g.bid_for_duration(3600);
+        if let Some(bp) = one_hour {
+            assert!(bp.durability_secs >= 3600);
+            // Twelve hours needs at least as high a bid.
+            if let Some(bp12) = g.bid_for_duration(12 * 3600) {
+                assert!(bp12.bid >= bp.bid);
+            }
+        }
+        // An absurd duration is not guaranteed by any grid point.
+        assert!(g.bid_for_duration(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn duration_for_bid_is_conservative() {
+        let h = history();
+        let pred = DraftsPredictor::new(&h, cfg());
+        let g = BidDurationGraph::compute(&pred, h.len() - 1, 0.95).unwrap();
+        // A bid below the published minimum has no guarantee.
+        assert_eq!(
+            g.duration_for_bid(g.min_bid() - spotmarket::Price::TICK),
+            None
+        );
+        // An off-grid bid maps to the largest grid point below it.
+        let p5 = g.points()[5];
+        let d = g.duration_for_bid(p5.bid + spotmarket::Price::TICK).unwrap();
+        assert_eq!(d, p5.durability_secs);
+    }
+
+    #[test]
+    fn higher_probability_needs_higher_min_bid() {
+        let h = history();
+        let pred = DraftsPredictor::new(&h, cfg());
+        let g95 = BidDurationGraph::compute(&pred, h.len() - 1, 0.95).unwrap();
+        let g99 = BidDurationGraph::compute(&pred, h.len() - 1, 0.99).unwrap();
+        assert!(g99.min_bid() >= g95.min_bid());
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let h = history();
+        let pred = DraftsPredictor::new(&h, cfg());
+        let g = BidDurationGraph::compute(&pred, h.len() - 1, 0.95).unwrap();
+        let csv = g.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "bid_usd,durability_secs");
+        assert_eq!(lines.len(), g.points().len() + 1);
+        assert!(lines[1].contains(','));
+    }
+
+    #[test]
+    fn timestamp_stamping() {
+        let h = history();
+        let pred = DraftsPredictor::new(&h, cfg());
+        let g = BidDurationGraph::compute(&pred, h.len() - 1, 0.95)
+            .unwrap()
+            .with_timestamp(777);
+        assert_eq!(g.computed_at, 777);
+    }
+
+    #[test]
+    fn too_short_history_yields_none() {
+        let cat = Catalog::standard();
+        let combo = Combo::new(
+            Az::parse("us-east-1b").unwrap(),
+            cat.type_id("c3.4xlarge").unwrap(),
+        );
+        let h = generate_with_archetype(
+            combo,
+            cat,
+            &TraceConfig::days(1, 3),
+            Archetype::Calm,
+        );
+        let pred = DraftsPredictor::new(&h, cfg());
+        assert!(BidDurationGraph::compute(&pred, h.len() - 1, 0.99).is_none());
+    }
+}

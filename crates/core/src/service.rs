@@ -1,0 +1,267 @@
+//! In-process stand-in for the DrAFTS web service (paper §3.3).
+//!
+//! The production prototype at `predictspotprice.cs.ucsb.edu` periodically
+//! queried the price-history API and published, per instance type and AZ,
+//! bid–duration graphs at the 0.95 and 0.99 probability levels — bids from
+//! the smallest guaranteeing any duration, in 5% increments up to 4x,
+//! recomputed every 15 minutes. Clients fetched the graphs over REST.
+//!
+//! Here the service is an in-process cache with the same contract: graphs
+//! are recomputed at most once per 15-minute bucket, are shared across
+//! callers (`Arc`), and clients never see data fresher than the bucket —
+//! exactly the staleness a polling REST client would experience. The
+//! machine-readable payload is [`BidDurationGraph::to_csv`].
+
+use crate::graph::BidDurationGraph;
+use crate::predictor::{DraftsConfig, DraftsPredictor};
+use parking_lot::Mutex;
+use spotmarket::{Combo, PriceHistory};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Graph recomputation period (paper: 15 minutes).
+    pub recompute_period: u64,
+    /// Probability levels published (paper: 0.95 and 0.99).
+    pub probabilities: Vec<f64>,
+    /// The prediction configuration.
+    pub drafts: DraftsConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            recompute_period: 15 * spotmarket::MINUTE,
+            probabilities: vec![0.95, 0.99],
+            drafts: DraftsConfig::default(),
+        }
+    }
+}
+
+/// The graphs published for one combo at one refresh bucket.
+#[derive(Debug, Clone, Default)]
+pub struct ComboGraphs {
+    /// One graph per configured probability level (absent when the history
+    /// is too short at that level).
+    pub graphs: Vec<BidDurationGraph>,
+}
+
+impl ComboGraphs {
+    /// The graph at probability `p`, if published.
+    pub fn at_probability(&self, p: f64) -> Option<&BidDurationGraph> {
+        self.graphs
+            .iter()
+            .find(|g| (g.probability - p).abs() < 1e-9)
+    }
+}
+
+/// The in-process DrAFTS service.
+///
+/// Histories are registered up front (the service "periodically queries
+/// the Amazon price-history API"; our histories already extend through
+/// simulated time, and queries are answered from the prefix visible at the
+/// request's bucket).
+pub struct DraftsService {
+    cfg: ServiceConfig,
+    histories: HashMap<u64, Arc<PriceHistory>>,
+    cache: Mutex<HashMap<(u64, u64), Arc<ComboGraphs>>>,
+    computes: Mutex<u64>,
+}
+
+impl DraftsService {
+    /// Creates a service.
+    ///
+    /// # Panics
+    /// Panics on a zero recompute period or empty probability list.
+    pub fn new(cfg: ServiceConfig) -> Self {
+        assert!(cfg.recompute_period > 0, "recompute period must be > 0");
+        assert!(
+            !cfg.probabilities.is_empty(),
+            "at least one probability level required"
+        );
+        cfg.drafts.validate();
+        Self {
+            cfg,
+            histories: HashMap::new(),
+            cache: Mutex::new(HashMap::new()),
+            computes: Mutex::new(0),
+        }
+    }
+
+    /// Registers (or replaces) the history backing a combo.
+    pub fn register(&mut self, history: PriceHistory) {
+        self.histories
+            .insert(history.combo().key(), Arc::new(history));
+        self.cache.lock().clear();
+    }
+
+    /// The combos the service knows about.
+    pub fn combos(&self) -> Vec<Combo> {
+        self.histories.values().map(|h| h.combo()).collect()
+    }
+
+    /// Number of graph recomputations performed (cache instrumentation).
+    pub fn compute_count(&self) -> u64 {
+        *self.computes.lock()
+    }
+
+    fn bucket(&self, now: u64) -> u64 {
+        now / self.cfg.recompute_period
+    }
+
+    /// Fetches the published graphs for `combo` as of `now`.
+    ///
+    /// Returns the graphs computed at the start of `now`'s refresh bucket;
+    /// repeated queries within a bucket hit the cache. `None` when the
+    /// combo is unknown or its history has not started by the bucket time.
+    pub fn graphs(&self, combo: Combo, now: u64) -> Option<Arc<ComboGraphs>> {
+        let history = self.histories.get(&combo.key())?.clone();
+        let bucket = self.bucket(now);
+        let key = (combo.key(), bucket);
+        if let Some(hit) = self.cache.lock().get(&key) {
+            return Some(hit.clone());
+        }
+        // Compute outside the lock: predictions can take a while and other
+        // combos should not serialize behind them.
+        let bucket_time = bucket * self.cfg.recompute_period;
+        let upto = history.series().index_at(bucket_time)?;
+        let predictor = DraftsPredictor::new(&history, self.cfg.drafts);
+        let mut graphs = Vec::new();
+        for &p in &self.cfg.probabilities {
+            if let Some(g) = BidDurationGraph::compute(&predictor, upto, p) {
+                graphs.push(g.with_timestamp(bucket_time));
+            }
+        }
+        *self.computes.lock() += 1;
+        let entry = Arc::new(ComboGraphs { graphs });
+        self.cache.lock().insert(key, entry.clone());
+        Some(entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotmarket::archetype::Archetype;
+    use spotmarket::tracegen::{generate_with_archetype, TraceConfig};
+    use spotmarket::{Az, Catalog};
+
+    fn service() -> (DraftsService, Combo) {
+        let cat = Catalog::standard();
+        let combo = Combo::new(
+            Az::parse("us-east-1c").unwrap(),
+            cat.type_id("c3.4xlarge").unwrap(),
+        );
+        let h = generate_with_archetype(
+            combo,
+            cat,
+            &TraceConfig::days(30, 55),
+            Archetype::Choppy,
+        );
+        let cfg = ServiceConfig {
+            drafts: DraftsConfig {
+                changepoint: None,
+                autocorr: false,
+                duration_stride: 4,
+                ..DraftsConfig::default()
+            },
+            ..ServiceConfig::default()
+        };
+        let mut svc = DraftsService::new(cfg);
+        svc.register(h);
+        (svc, combo)
+    }
+
+    #[test]
+    fn publishes_both_probability_levels() {
+        let (svc, combo) = service();
+        let g = svc.graphs(combo, 20 * spotmarket::DAY).unwrap();
+        assert!(g.at_probability(0.95).is_some());
+        assert!(g.at_probability(0.99).is_some());
+        assert!(g.at_probability(0.5).is_none(), "unpublished level");
+    }
+
+    #[test]
+    fn caches_within_a_bucket_and_recomputes_across() {
+        let (svc, combo) = service();
+        let t0 = 20 * spotmarket::DAY;
+        let a = svc.graphs(combo, t0).unwrap();
+        let b = svc.graphs(combo, t0 + 60).unwrap(); // same 15-min bucket
+        assert!(Arc::ptr_eq(&a, &b), "same bucket must hit the cache");
+        assert_eq!(svc.compute_count(), 1);
+        let c = svc.graphs(combo, t0 + 15 * spotmarket::MINUTE).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c), "next bucket recomputes");
+        assert_eq!(svc.compute_count(), 2);
+    }
+
+    #[test]
+    fn graphs_are_bucket_stamped_and_ignore_future_prices() {
+        let (svc, combo) = service();
+        let now = 20 * spotmarket::DAY + 7 * spotmarket::MINUTE;
+        let g = svc.graphs(combo, now).unwrap();
+        let g95 = g.at_probability(0.95).unwrap();
+        let bucket_time = (now / (15 * spotmarket::MINUTE)) * 15 * spotmarket::MINUTE;
+        assert_eq!(g95.computed_at, bucket_time);
+    }
+
+    #[test]
+    fn unknown_combo_is_none() {
+        let (svc, _) = service();
+        let cat = Catalog::standard();
+        let other = Combo::new(
+            Az::parse("us-west-1a").unwrap(),
+            cat.type_id("m1.small").unwrap(),
+        );
+        assert!(svc.graphs(other, 1000).is_none());
+    }
+
+    #[test]
+    fn time_before_history_is_none() {
+        let cat = Catalog::standard();
+        let combo = Combo::new(
+            Az::parse("us-east-1c").unwrap(),
+            cat.type_id("c3.4xlarge").unwrap(),
+        );
+        let h = generate_with_archetype(
+            combo,
+            cat,
+            &TraceConfig {
+                start: 100 * spotmarket::DAY,
+                end: 130 * spotmarket::DAY,
+                seed: 1,
+            },
+            Archetype::Calm,
+        );
+        let mut svc = DraftsService::new(ServiceConfig::default());
+        svc.register(h);
+        assert!(svc.graphs(combo, 1000).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability level")]
+    fn rejects_empty_probability_list() {
+        DraftsService::new(ServiceConfig {
+            probabilities: vec![],
+            ..ServiceConfig::default()
+        });
+    }
+
+    #[test]
+    fn registering_clears_cache() {
+        let (mut svc, combo) = service();
+        let _ = svc.graphs(combo, 20 * spotmarket::DAY).unwrap();
+        assert_eq!(svc.compute_count(), 1);
+        let cat = Catalog::standard();
+        let h2 = generate_with_archetype(
+            combo,
+            cat,
+            &TraceConfig::days(30, 56),
+            Archetype::Calm,
+        );
+        svc.register(h2);
+        let _ = svc.graphs(combo, 20 * spotmarket::DAY).unwrap();
+        assert_eq!(svc.compute_count(), 2, "cache was invalidated");
+    }
+}

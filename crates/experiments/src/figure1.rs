@@ -1,0 +1,62 @@
+//! Figure 1: empirical CDF of the sub-0.99 correctness fractions when the
+//! On-demand price is used as the maximum bid.
+
+use backtest::correctness;
+use backtest::engine::Policy;
+use backtest::report;
+use backtest::BacktestResult;
+
+/// The CDF points `(correctness fraction, cumulative probability)` for
+/// combos whose On-demand-bid success fraction fell below 0.99.
+pub fn cdf(result: &BacktestResult) -> Vec<(f64, f64)> {
+    correctness::fraction_cdf(result, Policy::OnDemand, 0.99)
+}
+
+/// Renders the machine-readable series.
+pub fn to_csv(points: &[(f64, f64)]) -> String {
+    report::series_csv(("correctness_fraction", "cumulative_probability"), points)
+}
+
+/// A terminal-friendly summary of the distribution.
+pub fn summarize(points: &[(f64, f64)]) -> String {
+    if points.is_empty() {
+        return "Figure 1: no combos fell below 0.99 under On-demand bids\n".into();
+    }
+    let zeros = points.iter().filter(|(f, _)| *f == 0.0).count();
+    let median = points[points.len() / 2].0;
+    format!(
+        "Figure 1: {} combos below 0.99 under On-demand bids; {} with fraction 0 \
+         (never sufficient); median sub-target fraction {:.2}\n",
+        points.len(),
+        zeros,
+        median
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::Scale;
+    use crate::table1;
+
+    #[test]
+    fn figure1_has_mass_below_the_target() {
+        let out = table1::run(Scale::Quick);
+        let points = cdf(&out.result);
+        assert!(
+            !points.is_empty(),
+            "some combos must miss under On-demand bids"
+        );
+        // CDF endpoints and monotonicity.
+        assert!((points.last().unwrap().1 - 1.0).abs() < 1e-12);
+        assert!(points.windows(2).all(|w| w[0].1 < w[1].1));
+        // Pinned-above-On-demand markets give zero fractions (§4.1.2).
+        assert!(
+            points.iter().any(|(f, _)| *f < 0.2),
+            "expected deeply-failing combos in the CDF"
+        );
+        let csv = to_csv(&points);
+        assert!(csv.starts_with("correctness_fraction,"));
+        assert!(summarize(&points).contains("combos below 0.99"));
+    }
+}

@@ -1,0 +1,76 @@
+//! Extension experiment (paper §6 future work): DrAFTS adoption feedback.
+//!
+//! Sweeps the adoption fraction and reports how the market's mean price,
+//! volatility and revocation rates respond. See
+//! `spotmarket::reflexivity` for the mechanism and the measured
+//! conclusion (seed-averaged: adoption compresses prices monotonically
+//! and collapses volatility at full adoption).
+
+use crate::common::REPRO_SEED;
+use backtest::report::Table;
+use simrng::{SeedableFrom, Xoshiro256pp};
+use spotmarket::reflexivity::{self, ReflexivityConfig, ReflexivityOutcome};
+use spotmarket::Price;
+
+/// Runs the adoption sweep.
+pub fn run() -> Vec<ReflexivityOutcome> {
+    [0.0, 0.25, 0.5, 0.75, 1.0]
+        .into_iter()
+        .map(|adoption| {
+            let cfg = ReflexivityConfig {
+                adoption,
+                ..ReflexivityConfig::default()
+            };
+            reflexivity::run(
+                &cfg,
+                Price::from_dollars(0.105),
+                Xoshiro256pp::seed_from_u64(REPRO_SEED),
+            )
+        })
+        .collect()
+}
+
+/// Renders the sweep.
+pub fn render(outcomes: &[ReflexivityOutcome]) -> Table {
+    let mut t = Table::new(
+        "Extension: DrAFTS adoption feedback on the market it predicts (paper SS6)",
+        &[
+            "Adoption",
+            "Mean Price",
+            "Price CV",
+            "DrAFTS revoked",
+            "Private revoked",
+        ],
+    );
+    for o in outcomes {
+        t.row(vec![
+            format!("{:.0}%", o.adoption * 100.0),
+            format!("${:.4}", o.mean_price),
+            format!("{:.3}", o.price_cv),
+            format!("{:.2}%", o.drafts_revocation_rate * 100.0),
+            format!("{:.2}%", o.private_revocation_rate * 100.0),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_runs_and_renders() {
+        // The sweep is a single-seed illustration (the seed-averaged
+        // regime claims live in spotmarket::reflexivity's tests); here we
+        // check the harness itself.
+        let outcomes = run();
+        assert_eq!(outcomes.len(), 5);
+        assert!(outcomes.iter().all(|o| o.mean_price > 0.0));
+        assert!(outcomes
+            .windows(2)
+            .all(|w| w[0].adoption < w[1].adoption));
+        let rendered = render(&outcomes).render();
+        assert!(rendered.contains("Adoption"));
+        assert!(rendered.contains('%'));
+    }
+}

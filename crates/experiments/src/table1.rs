@@ -1,0 +1,95 @@
+//! Table 1: backtested correctness fractions for DrAFTS, On-demand,
+//! AR(1) and Empirical-CDF across the AZ x type universe.
+
+use crate::common::{Scale, REPRO_SEED};
+use backtest::correctness::{self, CorrectnessRow};
+use backtest::engine::{self, BacktestConfig};
+use backtest::report::{self, Table};
+use backtest::BacktestResult;
+
+/// The backtest configuration for a given scale and probability target.
+pub fn backtest_config(scale: Scale, probability: f64) -> BacktestConfig {
+    BacktestConfig {
+        seed: REPRO_SEED,
+        days: scale.pick(45, 90),
+        warmup_days: scale.pick(18, 30),
+        requests_per_combo: scale.pick(60, 300),
+        probability,
+        combo_limit: scale.pick(Some(48), None),
+        ..BacktestConfig::default()
+    }
+}
+
+/// Table 1 output: the raw backtest plus its rendered rows.
+pub struct Table1Output {
+    /// Full per-combo results (shared with Figure 1 and Table 4).
+    pub result: BacktestResult,
+    /// The bucketed correctness rows.
+    pub rows: Vec<CorrectnessRow>,
+}
+
+/// Runs the Table 1 backtest at the paper's 0.99 target.
+pub fn run(scale: Scale) -> Table1Output {
+    let cfg = backtest_config(scale, 0.99);
+    let result = engine::run(&cfg);
+    let rows = correctness::table_rows(&result);
+    Table1Output { result, rows }
+}
+
+/// Renders the paper-style table.
+pub fn render(out: &Table1Output) -> Table {
+    report::table1(&out.rows, out.result.probability, out.result.combos.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backtest::engine::Policy;
+
+    #[test]
+    fn quick_table1_reproduces_the_paper_ordering() {
+        let out = run(Scale::Quick);
+        assert_eq!(out.result.combos.len(), 48);
+        let row = |p: Policy| {
+            out.rows
+                .iter()
+                .find(|r| r.policy == p)
+                .copied()
+                .expect("row present")
+        };
+        let drafts = row(Policy::Drafts);
+        let od = row(Policy::OnDemand);
+        let ecdf = row(Policy::EmpiricalCdf);
+        // The paper's headline orderings: DrAFTS misses the target for
+        // (almost) no combos; On-demand misses for a large share; the
+        // empirical CDF sits in between.
+        // Quick scale runs 60 requests per combo, so a single unlucky miss
+        // (fraction 59/60 = 0.983) already drops a combo below the 0.99
+        // bucket; the paper-scale 300-request run is the calibrated one.
+        assert!(
+            drafts.below <= 0.15,
+            "DrAFTS below-target share {}",
+            drafts.below
+        );
+        assert!(
+            od.below >= drafts.below,
+            "On-demand ({}) must miss at least as often as DrAFTS ({})",
+            od.below,
+            drafts.below
+        );
+        assert!(od.below > 0.1, "On-demand miss share {}", od.below);
+        // The empirical CDF misses for a substantial share too (paper: 6%;
+        // on the synthetic substrate it lands nearer On-demand — see
+        // EXPERIMENTS.md for the deviation discussion).
+        assert!(
+            ecdf.below > drafts.below,
+            "ECDF ({}) must miss more often than DrAFTS ({})",
+            ecdf.below,
+            drafts.below
+        );
+        // Render sanity.
+        let t = render(&out);
+        assert_eq!(t.len(), 4);
+        assert!(t.render().contains("DrAFTS"));
+    }
+}

@@ -1,0 +1,411 @@
+//! Distribution samplers over any [`Rng`].
+//!
+//! Each sampler validates its parameters at construction and exposes a
+//! `sample(&mut impl Rng)` method. The set covers what the spot-market
+//! substrate and workload generators need:
+//!
+//! * [`Uniform`] — closed-open real interval,
+//! * [`Normal`] — Box–Muller (both variates used, cached),
+//! * [`LogNormal`] — heavy-tailed price spikes,
+//! * [`Exponential`] — inter-arrival times,
+//! * [`Poisson`] — event counts (Knuth for small λ, PTRS rejection for large),
+//! * [`Pareto`] — power-law spike magnitudes,
+//! * [`Categorical`] — weighted discrete choice (alias-free linear scan for
+//!   the small supports used here).
+
+use crate::Rng;
+
+/// Error returned when a distribution is constructed with invalid parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamError {
+    what: &'static str,
+}
+
+impl ParamError {
+    fn new(what: &'static str) -> Self {
+        Self { what }
+    }
+}
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.what)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Uniform distribution on `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform sampler; requires finite `lo <= hi`.
+    pub fn new(lo: f64, hi: f64) -> Result<Self, ParamError> {
+        if !(lo.is_finite() && hi.is_finite()) {
+            return Err(ParamError::new("uniform bounds must be finite"));
+        }
+        if lo > hi {
+            return Err(ParamError::new("uniform requires lo <= hi"));
+        }
+        Ok(Self { lo, hi })
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.lo + (self.hi - self.lo) * rng.next_f64()
+    }
+}
+
+/// Normal (Gaussian) distribution via Box–Muller.
+///
+/// The sampler is stateless: both Box–Muller variates are generated per call
+/// and one is discarded. For the call volumes in this workspace (trace
+/// generation dominated by other costs) the simplicity is worth the 2x.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    sd: f64,
+}
+
+impl Normal {
+    /// Creates a normal sampler; requires finite mean and `sd >= 0`.
+    pub fn new(mean: f64, sd: f64) -> Result<Self, ParamError> {
+        if !mean.is_finite() || !sd.is_finite() {
+            return Err(ParamError::new("normal parameters must be finite"));
+        }
+        if sd < 0.0 {
+            return Err(ParamError::new("normal requires sd >= 0"));
+        }
+        Ok(Self { mean, sd })
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.sd * standard_normal(rng)
+    }
+}
+
+/// Draws a standard normal variate via Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1 = rng.next_f64_open();
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma^2))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal sampler with underlying normal `N(mu, sigma^2)`.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        Ok(Self {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+
+    /// Draws one sample (always > 0).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential sampler; requires `lambda > 0` and finite.
+    pub fn new(lambda: f64) -> Result<Self, ParamError> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(ParamError::new("exponential requires lambda > 0"));
+        }
+        Ok(Self { lambda })
+    }
+
+    /// Draws one sample (inverse transform).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        -rng.next_f64_open().ln() / self.lambda
+    }
+}
+
+/// Poisson distribution with mean `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson sampler; requires `lambda >= 0` and finite.
+    pub fn new(lambda: f64) -> Result<Self, ParamError> {
+        if !(lambda.is_finite() && lambda >= 0.0) {
+            return Err(ParamError::new("poisson requires lambda >= 0"));
+        }
+        Ok(Self { lambda })
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.lambda == 0.0 {
+            return 0;
+        }
+        if self.lambda < 30.0 {
+            // Knuth's product-of-uniforms method.
+            let l = (-self.lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= rng.next_f64_open();
+                if p <= l {
+                    return k;
+                }
+                k += 1;
+            }
+        }
+        // Normal approximation with continuity correction: adequate for the
+        // large-λ arrival batching in the market agents (error O(λ^-1/2)).
+        let x = self.lambda + self.lambda.sqrt() * standard_normal(rng) + 0.5;
+        if x < 0.0 {
+            0
+        } else {
+            x.floor() as u64
+        }
+    }
+}
+
+/// Pareto (type I) distribution: support `[scale, inf)`, shape `alpha`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    scale: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto sampler; requires `scale > 0`, `alpha > 0`.
+    pub fn new(scale: f64, alpha: f64) -> Result<Self, ParamError> {
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(ParamError::new("pareto requires scale > 0"));
+        }
+        if !(alpha.is_finite() && alpha > 0.0) {
+            return Err(ParamError::new("pareto requires alpha > 0"));
+        }
+        Ok(Self { scale, alpha })
+    }
+
+    /// Draws one sample (inverse transform).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.scale / rng.next_f64_open().powf(1.0 / self.alpha)
+    }
+}
+
+/// Weighted discrete distribution over indices `0..weights.len()`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Categorical {
+    cumulative: Vec<f64>,
+}
+
+impl Categorical {
+    /// Creates a categorical sampler from non-negative weights.
+    ///
+    /// Requires at least one weight, all finite and `>= 0`, with positive sum.
+    pub fn new(weights: &[f64]) -> Result<Self, ParamError> {
+        if weights.is_empty() {
+            return Err(ParamError::new("categorical requires >= 1 weight"));
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(ParamError::new(
+                "categorical weights must be finite and non-negative",
+            ));
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(ParamError::new("categorical weights must sum > 0"));
+        }
+        let mut acc = 0.0;
+        let cumulative = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Ok(Self { cumulative })
+    }
+
+    /// Draws one index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u = rng.next_f64();
+        // partition_point: first index whose cumulative weight exceeds u.
+        let i = self.cumulative.partition_point(|&c| c <= u);
+        i.min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SeedableFrom, Xoshiro256pp};
+
+    fn rng(seed: u64) -> Xoshiro256pp {
+        Xoshiro256pp::seed_from_u64(seed)
+    }
+
+    fn mean_and_var(xs: &[f64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let m = xs.iter().sum::<f64>() / n;
+        let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (n - 1.0);
+        (m, v)
+    }
+
+    #[test]
+    fn uniform_rejects_bad_params() {
+        assert!(Uniform::new(1.0, 0.0).is_err());
+        assert!(Uniform::new(f64::NAN, 1.0).is_err());
+        assert!(Uniform::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn uniform_moments() {
+        let d = Uniform::new(2.0, 6.0).unwrap();
+        let mut r = rng(1);
+        let xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut r)).collect();
+        let (m, v) = mean_and_var(&xs);
+        assert!((m - 4.0).abs() < 0.05, "mean {m}");
+        assert!((v - 16.0 / 12.0).abs() < 0.05, "var {v}");
+        assert!(xs.iter().all(|&x| (2.0..6.0).contains(&x)));
+    }
+
+    #[test]
+    fn normal_rejects_bad_params() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::INFINITY, 1.0).is_err());
+    }
+
+    #[test]
+    fn normal_moments_and_symmetry() {
+        let d = Normal::new(10.0, 3.0).unwrap();
+        let mut r = rng(2);
+        let xs: Vec<f64> = (0..100_000).map(|_| d.sample(&mut r)).collect();
+        let (m, v) = mean_and_var(&xs);
+        assert!((m - 10.0).abs() < 0.05, "mean {m}");
+        assert!((v - 9.0).abs() < 0.15, "var {v}");
+        let above = xs.iter().filter(|&&x| x > 10.0).count() as f64 / xs.len() as f64;
+        assert!((above - 0.5).abs() < 0.01, "symmetry {above}");
+    }
+
+    #[test]
+    fn normal_zero_sd_is_constant() {
+        let d = Normal::new(5.0, 0.0).unwrap();
+        let mut r = rng(3);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut r), 5.0);
+        }
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let d = LogNormal::new(1.0, 0.75).unwrap();
+        let mut r = rng(4);
+        let mut xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut r)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        assert!((median - 1.0f64.exp()).abs() < 0.1, "median {median}");
+        assert!(xs[0] > 0.0);
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let d = Exponential::new(0.25).unwrap();
+        let mut r = rng(5);
+        let xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut r)).collect();
+        let (m, _) = mean_and_var(&xs);
+        assert!((m - 4.0).abs() < 0.1, "mean {m}");
+        assert!(xs.iter().all(|&x| x >= 0.0));
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-1.0).is_err());
+    }
+
+    #[test]
+    fn poisson_small_lambda_moments() {
+        let d = Poisson::new(3.5).unwrap();
+        let mut r = rng(6);
+        let xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut r) as f64).collect();
+        let (m, v) = mean_and_var(&xs);
+        assert!((m - 3.5).abs() < 0.05, "mean {m}");
+        assert!((v - 3.5).abs() < 0.15, "var {v}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_moments() {
+        let d = Poisson::new(200.0).unwrap();
+        let mut r = rng(7);
+        let xs: Vec<f64> = (0..30_000).map(|_| d.sample(&mut r) as f64).collect();
+        let (m, v) = mean_and_var(&xs);
+        assert!((m - 200.0).abs() < 0.5, "mean {m}");
+        assert!((v - 200.0).abs() < 10.0, "var {v}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda_is_zero() {
+        let d = Poisson::new(0.0).unwrap();
+        let mut r = rng(8);
+        assert_eq!(d.sample(&mut r), 0);
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_tail() {
+        let d = Pareto::new(2.0, 3.0).unwrap();
+        let mut r = rng(9);
+        let xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut r)).collect();
+        assert!(xs.iter().all(|&x| x >= 2.0));
+        // P(X > 4) = (2/4)^3 = 0.125 for Pareto(scale=2, alpha=3).
+        let tail = xs.iter().filter(|&&x| x > 4.0).count() as f64 / xs.len() as f64;
+        assert!((tail - 0.125).abs() < 0.01, "tail {tail}");
+    }
+
+    #[test]
+    fn categorical_matches_weights() {
+        let d = Categorical::new(&[1.0, 3.0, 6.0]).unwrap();
+        let mut r = rng(10);
+        let mut counts = [0usize; 3];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[d.sample(&mut r)] += 1;
+        }
+        let fracs: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();
+        assert!((fracs[0] - 0.1).abs() < 0.01);
+        assert!((fracs[1] - 0.3).abs() < 0.01);
+        assert!((fracs[2] - 0.6).abs() < 0.01);
+    }
+
+    #[test]
+    fn categorical_zero_weight_category_never_sampled() {
+        let d = Categorical::new(&[0.0, 1.0]).unwrap();
+        let mut r = rng(11);
+        for _ in 0..10_000 {
+            assert_eq!(d.sample(&mut r), 1);
+        }
+    }
+
+    #[test]
+    fn categorical_rejects_bad_weights() {
+        assert!(Categorical::new(&[]).is_err());
+        assert!(Categorical::new(&[0.0, 0.0]).is_err());
+        assert!(Categorical::new(&[-1.0, 2.0]).is_err());
+        assert!(Categorical::new(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn param_error_displays() {
+        let e = Uniform::new(1.0, 0.0).unwrap_err();
+        assert!(e.to_string().contains("lo <= hi"));
+    }
+}

@@ -1,0 +1,268 @@
+//! Deterministic, portable pseudo-random number generation for simulation.
+//!
+//! Every experiment in this workspace must be bit-reproducible from a single
+//! `u64` seed, across platforms and toolchain versions. We therefore implement
+//! our own small PRNG stack instead of depending on the `rand` ecosystem:
+//!
+//! * [`SplitMix64`] — seed expansion (Steele, Lea & Flood 2014),
+//! * [`Xoshiro256pp`] — the workhorse generator (Blackman & Vigna 2019),
+//!   with `jump()` for creating 2^128-decorrelated parallel streams,
+//! * [`dist`] — inverse-transform / Box–Muller samplers for the distributions
+//!   the spot-market substrate needs (uniform, normal, lognormal, exponential,
+//!   Poisson, Pareto, categorical),
+//! * [`streams`] — a keyed stream factory so independent subsystems (market
+//!   agents, workload generators, backtest request samplers) draw from
+//!   non-overlapping substreams of one experiment seed.
+//!
+//! # Example
+//!
+//! ```
+//! use simrng::{Rng, SeedableFrom, Xoshiro256pp, dist::Normal};
+//!
+//! let mut rng = Xoshiro256pp::seed_from_u64(42);
+//! let n = Normal::new(0.0, 1.0).unwrap();
+//! let x = n.sample(&mut rng);
+//! assert!(x.is_finite());
+//! ```
+
+pub mod dist;
+pub mod splitmix;
+pub mod streams;
+pub mod xoshiro;
+
+pub use splitmix::SplitMix64;
+pub use streams::StreamFactory;
+pub use xoshiro::Xoshiro256pp;
+
+/// A minimal uniform random bit generator.
+///
+/// All distribution samplers in [`dist`] are generic over this trait so tests
+/// can substitute counting or constant generators.
+pub trait Rng {
+    /// Returns the next 64 uniformly distributed random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly distributed random bits.
+    ///
+    /// Default implementation takes the high half of [`Rng::next_u64`], which
+    /// for xoshiro-family generators is the better-mixed half.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        // 53 high bits / 2^53: the standard dyadic-rational construction.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform `f64` in the open interval `(0, 1)`.
+    ///
+    /// Useful as input to inverse-CDF transforms that are undefined at 0.
+    fn next_f64_open(&mut self) -> f64 {
+        loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                return u;
+            }
+        }
+    }
+
+    /// Returns a uniform integer in `[0, bound)` using Lemire's unbiased
+    /// multiply-shift rejection method.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below requires bound > 0");
+        // Lemire 2018, "Fast Random Integer Generation in an Interval".
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Returns a uniform integer in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    fn next_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "next_range_u64 requires lo <= hi");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.next_below(span + 1)
+    }
+
+    /// Returns a uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or either bound is not finite.
+    fn next_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+        assert!(lo <= hi, "next_range_f64 requires lo <= hi");
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    ///
+    /// # Panics
+    /// Panics if the slice is empty.
+    fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        assert!(!xs.is_empty(), "choose requires a non-empty slice");
+        &xs[self.next_below(xs.len() as u64) as usize]
+    }
+}
+
+/// Constructs a generator of type `Self` from a 64-bit seed.
+pub trait SeedableFrom: Sized {
+    /// Builds the generator deterministically from `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic counter "generator" for exercising trait defaults.
+    struct Counter(u64);
+    impl Rng for Counter {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            self.0
+        }
+    }
+
+    #[test]
+    fn next_f64_is_in_unit_interval() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let u = rng.next_f64();
+            assert!((0.0..1.0).contains(&u), "u = {u}");
+        }
+    }
+
+    #[test]
+    fn next_f64_open_never_returns_zero() {
+        let mut rng = Counter(0);
+        for _ in 0..1000 {
+            assert!(rng.next_f64_open() > 0.0);
+        }
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        for bound in [1u64, 2, 3, 10, 1000, u64::MAX] {
+            for _ in 0..200 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_below_is_roughly_uniform() {
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
+        let mut counts = [0usize; 8];
+        let n = 80_000;
+        for _ in 0..n {
+            counts[rng.next_below(8) as usize] += 1;
+        }
+        let expected = n / 8;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected as f64).abs() / expected as f64;
+            assert!(dev < 0.05, "bucket {i}: count {c} deviates {dev}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound > 0")]
+    fn next_below_zero_panics() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        rng.next_below(0);
+    }
+
+    #[test]
+    fn next_range_u64_inclusive_endpoints_reachable() {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..10_000 {
+            match rng.next_range_u64(5, 8) {
+                5 => saw_lo = true,
+                8 => saw_hi = true,
+                6 | 7 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn next_range_u64_degenerate_range() {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        assert_eq!(rng.next_range_u64(42, 42), 42);
+        // Full-domain range must not overflow.
+        let _ = rng.next_range_u64(0, u64::MAX);
+    }
+
+    #[test]
+    fn next_range_f64_within_bounds() {
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        for _ in 0..1000 {
+            let x = rng.next_range_f64(-2.5, 7.25);
+            assert!((-2.5..7.25).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_bool_matches_probability() {
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.next_bool(0.3)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Xoshiro256pp::seed_from_u64(6);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "astronomically unlikely");
+    }
+
+    #[test]
+    fn choose_returns_member() {
+        let mut rng = Xoshiro256pp::seed_from_u64(8);
+        let xs = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(xs.contains(rng.choose(&xs)));
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! The instance-type catalog and market availability matrix.
+//!
+//! The paper's backtest covers "53 different instance types at the time of
+//! the study, but not all instance types are available from all AZs",
+//! yielding 452 AZ x type combinations across the nine study AZs (§4.1).
+//! This module reproduces that universe: a 53-entry catalog of
+//! 2016-era EC2 instance types with their us-east-1 On-demand prices
+//! (regional prices scale by [`Region::od_multiplier`]), and a
+//! deterministic availability matrix that excludes exactly 25 of the
+//! 477 possible combos (477 - 25 = 452).
+
+use crate::price::Price;
+use crate::types::{Az, Combo, Region, TypeId};
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+/// Broad capability class, used by job profiles to pick suitable types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Burstable/micro.
+    Micro,
+    /// General purpose (m-series).
+    General,
+    /// Compute optimized (c-series).
+    Compute,
+    /// Memory optimized (r/x/cr-series).
+    Memory,
+    /// Storage/dense-storage optimized (i/d/hi/hs-series).
+    Storage,
+    /// GPU/accelerated (g/p/cg-series).
+    Gpu,
+}
+
+/// Static description of one instance type.
+#[derive(Debug, Clone)]
+pub struct InstanceSpec {
+    /// AWS-style type name, e.g. `c4.large`.
+    pub name: &'static str,
+    /// Virtual CPU count.
+    pub vcpus: u16,
+    /// Memory in GiB.
+    pub mem_gb: f32,
+    /// Local instance storage in GB (0 for EBS-only).
+    pub storage_gb: u32,
+    /// Capability family.
+    pub family: Family,
+    /// Hourly On-demand price in us-east-1.
+    pub od_us_east: Price,
+}
+
+/// Catalog row helper.
+macro_rules! spec {
+    ($name:literal, $vcpus:expr, $mem:expr, $disk:expr, $family:ident, $od:expr) => {
+        InstanceSpec {
+            name: $name,
+            vcpus: $vcpus,
+            mem_gb: $mem,
+            storage_gb: $disk,
+            family: Family::$family,
+            od_us_east: Price::from_ticks(($od * 10_000.0) as u64),
+        }
+    };
+}
+
+fn build_specs() -> Vec<InstanceSpec> {
+    // 2016-era EC2 current+previous generation types with approximate
+    // us-east-1 On-demand prices (USD/hour). 53 entries, matching the
+    // paper's study universe; prices include the examples the paper cites
+    // (cg1.4xlarge $2.10, m1.large $0.175, c4.large ~$0.105).
+    vec![
+        spec!("t1.micro", 1, 0.613, 0, Micro, 0.020),
+        spec!("m1.small", 1, 1.7, 160, General, 0.044),
+        spec!("m1.medium", 1, 3.75, 410, General, 0.087),
+        spec!("m1.large", 2, 7.5, 840, General, 0.175),
+        spec!("m1.xlarge", 4, 15.0, 1680, General, 0.350),
+        spec!("m3.medium", 1, 3.75, 4, General, 0.067),
+        spec!("m3.large", 2, 7.5, 32, General, 0.133),
+        spec!("m3.xlarge", 4, 15.0, 80, General, 0.266),
+        spec!("m3.2xlarge", 8, 30.0, 160, General, 0.532),
+        spec!("m4.large", 2, 8.0, 0, General, 0.108),
+        spec!("m4.xlarge", 4, 16.0, 0, General, 0.215),
+        spec!("m4.2xlarge", 8, 32.0, 0, General, 0.431),
+        spec!("m4.4xlarge", 16, 64.0, 0, General, 0.862),
+        spec!("m4.10xlarge", 40, 160.0, 0, General, 2.155),
+        spec!("m4.16xlarge", 64, 256.0, 0, General, 3.447),
+        spec!("c1.medium", 2, 1.7, 350, Compute, 0.130),
+        spec!("c1.xlarge", 8, 7.0, 1680, Compute, 0.520),
+        spec!("c3.large", 2, 3.75, 32, Compute, 0.105),
+        spec!("c3.xlarge", 4, 7.5, 80, Compute, 0.210),
+        spec!("c3.2xlarge", 8, 15.0, 160, Compute, 0.420),
+        spec!("c3.4xlarge", 16, 30.0, 320, Compute, 0.840),
+        spec!("c3.8xlarge", 32, 60.0, 640, Compute, 1.680),
+        spec!("c4.large", 2, 3.75, 0, Compute, 0.105),
+        spec!("c4.xlarge", 4, 7.5, 0, Compute, 0.209),
+        spec!("c4.2xlarge", 8, 15.0, 0, Compute, 0.419),
+        spec!("c4.4xlarge", 16, 30.0, 0, Compute, 0.838),
+        spec!("c4.8xlarge", 36, 60.0, 0, Compute, 1.675),
+        spec!("cc2.8xlarge", 32, 60.5, 3360, Compute, 2.000),
+        spec!("cg1.4xlarge", 16, 22.5, 1690, Gpu, 2.100),
+        spec!("cr1.8xlarge", 32, 244.0, 240, Memory, 3.500),
+        spec!("r3.large", 2, 15.25, 32, Memory, 0.166),
+        spec!("r3.xlarge", 4, 30.5, 80, Memory, 0.333),
+        spec!("r3.2xlarge", 8, 61.0, 160, Memory, 0.665),
+        spec!("r3.4xlarge", 16, 122.0, 320, Memory, 1.330),
+        spec!("r3.8xlarge", 32, 244.0, 640, Memory, 2.660),
+        spec!("r4.large", 2, 15.25, 0, Memory, 0.133),
+        spec!("r4.xlarge", 4, 30.5, 0, Memory, 0.266),
+        spec!("i2.xlarge", 4, 30.5, 800, Storage, 0.853),
+        spec!("i2.2xlarge", 8, 61.0, 1600, Storage, 1.705),
+        spec!("i2.4xlarge", 16, 122.0, 3200, Storage, 3.410),
+        spec!("i2.8xlarge", 32, 244.0, 6400, Storage, 6.820),
+        spec!("d2.xlarge", 4, 30.5, 6000, Storage, 0.690),
+        spec!("d2.2xlarge", 8, 61.0, 12_000, Storage, 1.380),
+        spec!("d2.4xlarge", 16, 122.0, 24_000, Storage, 2.760),
+        spec!("d2.8xlarge", 36, 244.0, 48_000, Storage, 5.520),
+        spec!("g2.2xlarge", 8, 15.0, 60, Gpu, 0.650),
+        spec!("g2.8xlarge", 32, 60.0, 240, Gpu, 2.600),
+        spec!("hi1.4xlarge", 16, 60.5, 2048, Storage, 3.100),
+        spec!("hs1.8xlarge", 16, 117.0, 48_000, Storage, 4.600),
+        spec!("x1.16xlarge", 64, 976.0, 1920, Memory, 6.669),
+        spec!("x1.32xlarge", 128, 1952.0, 3840, Memory, 13.338),
+        spec!("p2.xlarge", 4, 61.0, 0, Gpu, 0.900),
+        spec!("p2.8xlarge", 32, 488.0, 0, Gpu, 7.200),
+    ]
+}
+
+/// Number of AZ x type combinations that are *not* offered, chosen so the
+/// available universe matches the paper's 452.
+const EXCLUDED_COMBOS: usize = 25;
+
+/// The instance-type catalog plus the availability matrix.
+#[derive(Debug)]
+pub struct Catalog {
+    specs: Vec<InstanceSpec>,
+    unavailable: HashSet<u64>,
+}
+
+impl Catalog {
+    /// Builds the standard 53-type / 452-combo catalog.
+    pub fn new() -> Self {
+        let specs = build_specs();
+        // Deterministically exclude the EXCLUDED_COMBOS combos with the
+        // smallest salted hashes; older specialty types are likelier to be
+        // missing in practice, but any fixed exclusion set exercises the
+        // same code paths.
+        let mut hashed: Vec<(u64, u64)> = Az::all()
+            .flat_map(|az| {
+                (0..specs.len() as u16).map(move |t| {
+                    let key = Combo::new(az, TypeId(t)).key();
+                    (mix(key ^ 0xDA_F7_5C_17), key)
+                })
+            })
+            .collect();
+        hashed.sort_unstable();
+        let unavailable = hashed
+            .iter()
+            .take(EXCLUDED_COMBOS)
+            .map(|&(_, key)| key)
+            .collect();
+        Self { specs, unavailable }
+    }
+
+    /// The shared global catalog.
+    pub fn standard() -> &'static Catalog {
+        static CATALOG: OnceLock<Catalog> = OnceLock::new();
+        CATALOG.get_or_init(Catalog::new)
+    }
+
+    /// Number of instance types.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the catalog is empty (never, for the standard catalog).
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// All type ids.
+    pub fn type_ids(&self) -> impl Iterator<Item = TypeId> + '_ {
+        (0..self.specs.len() as u16).map(TypeId)
+    }
+
+    /// Specification of a type.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range id.
+    pub fn spec(&self, ty: TypeId) -> &InstanceSpec {
+        &self.specs[ty.index()]
+    }
+
+    /// Looks a type up by name.
+    pub fn type_id(&self, name: &str) -> Option<TypeId> {
+        self.specs
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| TypeId(i as u16))
+    }
+
+    /// The On-demand hourly price of `ty` in `region`.
+    pub fn od_price(&self, ty: TypeId, region: Region) -> Price {
+        self.spec(ty).od_us_east.scale(region.od_multiplier())
+    }
+
+    /// Whether `combo` is offered in the Spot tier.
+    pub fn is_available(&self, combo: Combo) -> bool {
+        combo.ty.index() < self.specs.len() && !self.unavailable.contains(&combo.key())
+    }
+
+    /// All available combos, in (AZ, type) order.
+    pub fn combos(&self) -> Vec<Combo> {
+        Az::all()
+            .flat_map(|az| self.type_ids().map(move |t| Combo::new(az, t)))
+            .filter(|c| self.is_available(*c))
+            .collect()
+    }
+
+    /// Available combos restricted to one AZ.
+    pub fn combos_in_az(&self, az: Az) -> Vec<Combo> {
+        self.type_ids()
+            .map(|t| Combo::new(az, t))
+            .filter(|c| self.is_available(*c))
+            .collect()
+    }
+
+    /// The AZs (within `region`) where `ty` is available.
+    pub fn azs_offering(&self, ty: TypeId, region: Region) -> Vec<Az> {
+        region
+            .azs()
+            .filter(|&az| self.is_available(Combo::new(az, ty)))
+            .collect()
+    }
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// SplitMix64 finalizer, used as a stand-alone integer mixer.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_53_types_and_452_combos() {
+        let c = Catalog::standard();
+        assert_eq!(c.len(), 53, "paper: 53 instance types");
+        assert_eq!(c.combos().len(), 452, "paper: 452 AZ x type combos");
+    }
+
+    #[test]
+    fn paper_cited_prices_are_present() {
+        let c = Catalog::standard();
+        // §4.1.2: cg1.4xlarge had On-demand $2.1 in us-east-1.
+        let cg1 = c.type_id("cg1.4xlarge").unwrap();
+        assert_eq!(c.od_price(cg1, Region::UsEast1), Price::from_dollars(2.1));
+        // §4.4: m1.large On-demand in us-west-2 was $0.175.
+        let m1l = c.type_id("m1.large").unwrap();
+        assert_eq!(c.od_price(m1l, Region::UsWest2), Price::from_dollars(0.175));
+    }
+
+    #[test]
+    fn regional_multiplier_applies() {
+        let c = Catalog::standard();
+        let m1l = c.type_id("m1.large").unwrap();
+        let east = c.od_price(m1l, Region::UsEast1);
+        let west1 = c.od_price(m1l, Region::UsWest1);
+        assert!(west1 > east, "us-west-1 is priced above us-east-1");
+    }
+
+    #[test]
+    fn unknown_type_name_is_none() {
+        assert!(Catalog::standard().type_id("z9.mega").is_none());
+    }
+
+    #[test]
+    fn availability_is_deterministic() {
+        let a = Catalog::new();
+        let b = Catalog::new();
+        assert_eq!(a.combos(), b.combos());
+    }
+
+    #[test]
+    fn every_type_is_available_somewhere() {
+        let c = Catalog::standard();
+        for ty in c.type_ids() {
+            let available_anywhere = Az::all().any(|az| c.is_available(Combo::new(az, ty)));
+            assert!(available_anywhere, "{} offered nowhere", c.spec(ty).name);
+        }
+    }
+
+    #[test]
+    fn every_az_offers_most_types() {
+        let c = Catalog::standard();
+        for az in Az::all() {
+            let n = c.combos_in_az(az).len();
+            assert!(n >= 40, "{} offers only {n} types", az.name());
+        }
+    }
+
+    #[test]
+    fn azs_offering_is_consistent_with_availability() {
+        let c = Catalog::standard();
+        let ty = c.type_id("c4.large").unwrap();
+        for region in Region::ALL {
+            for az in c.azs_offering(ty, region) {
+                assert!(c.is_available(Combo::new(az, ty)));
+                assert_eq!(az.region(), region);
+            }
+        }
+    }
+
+    #[test]
+    fn specs_are_sane() {
+        let c = Catalog::standard();
+        for ty in c.type_ids() {
+            let s = c.spec(ty);
+            assert!(s.vcpus >= 1);
+            assert!(s.mem_gb > 0.0);
+            assert!(s.od_us_east > Price::ZERO);
+            assert!(s.name.contains('.'));
+        }
+    }
+}

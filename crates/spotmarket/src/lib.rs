@@ -1,0 +1,56 @@
+//! EC2-style spot-market substrate.
+//!
+//! The SC'17 DrAFTS paper evaluates against 18 months of real Amazon spot
+//! price histories that are no longer available (and whose market mechanism
+//! Amazon retired in late 2017). This crate rebuilds the substrate the paper
+//! sits on:
+//!
+//! * [`price`] — exact fixed-point prices in ticks of $0.0001 (the Spot
+//!   tier's minimum increment, paper §3.2),
+//! * [`types`] / [`catalog`] — Regions, Availability Zones and the 53-type
+//!   instance catalog with On-demand prices (452 valid AZ x type combos, as
+//!   backtested in §4.1),
+//! * [`market`] — the published market-clearing mechanism (§2.1): hidden
+//!   supply, descending-bid allocation, price = lowest accepted bid,
+//! * [`agents`] — stochastic market participants that drive the clearing
+//!   engine to produce *endogenous* price series,
+//! * [`archetype`] / [`tracegen`] — a calibrated regime-switching generator
+//!   that reproduces the qualitative price-series classes the paper reports
+//!   (calm, diurnal, choppy, volatile, spiky, pinned-above-On-demand),
+//! * [`history`] — price-history queries, including the segment-tree
+//!   "first time price >= bid" query the DrAFTS duration step needs,
+//! * [`billing`] — hourly billing with round-up semantics (§2.1),
+//! * [`lifecycle`] / [`simulator`] — instance state machine and the
+//!   post-facto launch simulator used by the §4.2-style experiments,
+//! * [`obfuscation`] — per-account AZ-name remapping and its
+//!   correlation-based deobfuscation (§2.2),
+//! * [`reflexivity`] — the paper's §6 future-work question: how DrAFTS
+//!   adoption feeds back into the market it predicts.
+
+pub mod agents;
+pub mod archetype;
+pub mod billing;
+pub mod catalog;
+pub mod history;
+pub mod lifecycle;
+pub mod market;
+pub mod obfuscation;
+pub mod price;
+pub mod reflexivity;
+pub mod simulator;
+pub mod tracegen;
+pub mod types;
+
+pub use catalog::Catalog;
+pub use history::PriceHistory;
+pub use price::Price;
+pub use types::{Az, Combo, Region, TypeId};
+
+/// Seconds per minute.
+pub const MINUTE: u64 = 60;
+/// Seconds per hour.
+pub const HOUR: u64 = 3600;
+/// Seconds per day.
+pub const DAY: u64 = 86_400;
+/// The market price update periodicity the paper observes (§2.1).
+pub const UPDATE_PERIOD: u64 = 5 * MINUTE;

@@ -1,0 +1,191 @@
+//! Instance lifecycle state machine.
+//!
+//! Tracks one spot instance from launch to termination, enforcing legal
+//! transitions (running -> terminated exactly once, timestamps monotone).
+
+use crate::billing::EndReason;
+use crate::price::Price;
+use crate::types::Combo;
+
+/// Identifier of a launched instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstanceId(pub u64);
+
+/// Why a terminated instance stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TerminationReason {
+    /// The user shut it down.
+    User,
+    /// The market price reached the instance's maximum bid.
+    Price,
+}
+
+impl TerminationReason {
+    /// The corresponding billing end reason.
+    pub fn billing(self) -> EndReason {
+        match self {
+            TerminationReason::User => EndReason::User,
+            TerminationReason::Price => EndReason::Price,
+        }
+    }
+}
+
+/// Current state of an instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstanceState {
+    /// Accepted and running.
+    Running,
+    /// Stopped at `at` for `reason`.
+    Terminated {
+        /// Termination timestamp.
+        at: u64,
+        /// Cause.
+        reason: TerminationReason,
+    },
+}
+
+/// A launched spot instance.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Identifier.
+    pub id: InstanceId,
+    /// The market it runs in.
+    pub combo: Combo,
+    /// The maximum bid it was requested with.
+    pub bid: Price,
+    /// Launch timestamp.
+    pub launched_at: u64,
+    state: InstanceState,
+}
+
+impl Instance {
+    /// Creates a freshly launched (running) instance.
+    pub fn launch(id: InstanceId, combo: Combo, bid: Price, at: u64) -> Self {
+        Self {
+            id,
+            combo,
+            bid,
+            launched_at: at,
+            state: InstanceState::Running,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> InstanceState {
+        self.state
+    }
+
+    /// Whether the instance is still running.
+    pub fn is_running(&self) -> bool {
+        self.state == InstanceState::Running
+    }
+
+    /// Seconds of runtime up to `now` (or up to termination).
+    pub fn runtime(&self, now: u64) -> u64 {
+        let end = match self.state {
+            InstanceState::Running => now,
+            InstanceState::Terminated { at, .. } => at.min(now),
+        };
+        end.saturating_sub(self.launched_at)
+    }
+
+    /// Terminates the instance.
+    ///
+    /// # Panics
+    /// Panics if it is already terminated or `at` precedes the launch.
+    pub fn terminate(&mut self, at: u64, reason: TerminationReason) {
+        assert!(
+            self.is_running(),
+            "instance {:?} already terminated",
+            self.id
+        );
+        assert!(
+            at >= self.launched_at,
+            "termination at {at} precedes launch at {}",
+            self.launched_at
+        );
+        self.state = InstanceState::Terminated { at, reason };
+    }
+
+    /// Termination reason, if terminated.
+    pub fn termination_reason(&self) -> Option<TerminationReason> {
+        match self.state {
+            InstanceState::Running => None,
+            InstanceState::Terminated { reason, .. } => Some(reason),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Az, Region, TypeId};
+
+    fn inst() -> Instance {
+        Instance::launch(
+            InstanceId(1),
+            Combo::new(Az::new(Region::UsEast1, 0), TypeId(0)),
+            Price::from_dollars(0.1),
+            1000,
+        )
+    }
+
+    #[test]
+    fn fresh_instance_is_running() {
+        let i = inst();
+        assert!(i.is_running());
+        assert_eq!(i.state(), InstanceState::Running);
+        assert_eq!(i.termination_reason(), None);
+    }
+
+    #[test]
+    fn runtime_accrues_until_termination() {
+        let mut i = inst();
+        assert_eq!(i.runtime(1000), 0);
+        assert_eq!(i.runtime(4600), 3600);
+        i.terminate(8200, TerminationReason::Price);
+        assert_eq!(i.runtime(10_000), 7200, "runtime freezes at termination");
+        assert_eq!(i.runtime(5000), 4000, "clamped to now if earlier");
+    }
+
+    #[test]
+    fn runtime_before_launch_is_zero() {
+        let i = inst();
+        assert_eq!(i.runtime(500), 0);
+    }
+
+    #[test]
+    fn terminate_records_reason() {
+        let mut i = inst();
+        i.terminate(2000, TerminationReason::User);
+        assert_eq!(i.termination_reason(), Some(TerminationReason::User));
+        assert!(!i.is_running());
+    }
+
+    #[test]
+    #[should_panic(expected = "already terminated")]
+    fn double_termination_panics() {
+        let mut i = inst();
+        i.terminate(2000, TerminationReason::User);
+        i.terminate(3000, TerminationReason::Price);
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes launch")]
+    fn termination_before_launch_panics() {
+        let mut i = inst();
+        i.terminate(500, TerminationReason::User);
+    }
+
+    #[test]
+    fn billing_reason_mapping() {
+        assert_eq!(
+            TerminationReason::User.billing(),
+            crate::billing::EndReason::User
+        );
+        assert_eq!(
+            TerminationReason::Price.billing(),
+            crate::billing::EndReason::Price
+        );
+    }
+}

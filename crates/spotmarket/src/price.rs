@@ -1,0 +1,229 @@
+//! Exact fixed-point prices.
+//!
+//! The Spot tier's smallest cost increment is $0.0001 (paper §3.2: DrAFTS
+//! adds exactly one such tick to its price bound). Prices are therefore
+//! stored as a `u64` tick count — market clearing, billing and bid
+//! comparisons are exact, with no float accumulation drift.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Ticks per dollar.
+pub const TICKS_PER_DOLLAR: u64 = 10_000;
+
+/// A non-negative price in ticks of $0.0001.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Price(u64);
+
+impl Price {
+    /// The zero price.
+    pub const ZERO: Price = Price(0);
+    /// One tick — $0.0001, the Spot interface's minimum increment.
+    pub const TICK: Price = Price(1);
+    /// Largest representable price (sentinel for "bid infinitely high").
+    pub const MAX: Price = Price(u64::MAX);
+
+    /// Constructs from raw ticks.
+    pub const fn from_ticks(ticks: u64) -> Self {
+        Price(ticks)
+    }
+
+    /// Constructs from dollars, rounding to the nearest tick.
+    ///
+    /// # Panics
+    /// Panics on negative, NaN or non-finite input.
+    pub fn from_dollars(d: f64) -> Self {
+        assert!(d.is_finite() && d >= 0.0, "invalid dollar amount: {d}");
+        Price((d * TICKS_PER_DOLLAR as f64).round() as u64)
+    }
+
+    /// Raw tick count.
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Value in dollars (lossy only beyond 2^53 ticks).
+    pub fn dollars(self) -> f64 {
+        self.0 as f64 / TICKS_PER_DOLLAR as f64
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, rhs: Price) -> Price {
+        Price(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    pub fn saturating_sub(self, rhs: Price) -> Price {
+        Price(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiplies by a non-negative factor, rounding to the nearest tick.
+    ///
+    /// # Panics
+    /// Panics on negative, NaN or non-finite factors.
+    pub fn scale(self, factor: f64) -> Price {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "invalid scale factor: {factor}"
+        );
+        Price((self.0 as f64 * factor).round() as u64)
+    }
+
+    /// Multiplies by `hours` of usage (integer), saturating.
+    pub fn times(self, n: u64) -> Price {
+        Price(self.0.saturating_mul(n))
+    }
+
+    /// Returns the larger of two prices.
+    pub fn max(self, other: Price) -> Price {
+        Price(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two prices.
+    pub fn min(self, other: Price) -> Price {
+        Price(self.0.min(other.0))
+    }
+
+    /// Whether this price is zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for Price {
+    type Output = Price;
+    fn add(self, rhs: Price) -> Price {
+        Price(
+            self.0
+                .checked_add(rhs.0)
+                .expect("price addition overflowed"),
+        )
+    }
+}
+
+impl AddAssign for Price {
+    fn add_assign(&mut self, rhs: Price) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Price {
+    type Output = Price;
+    fn sub(self, rhs: Price) -> Price {
+        Price(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("price subtraction underflowed"),
+        )
+    }
+}
+
+impl Sum for Price {
+    fn sum<I: Iterator<Item = Price>>(iter: I) -> Price {
+        iter.fold(Price::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Price {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dollars = self.0 / TICKS_PER_DOLLAR;
+        let frac = self.0 % TICKS_PER_DOLLAR;
+        write!(f, "${dollars}.{frac:04}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dollars_round_trip() {
+        let p = Price::from_dollars(2.1001);
+        assert_eq!(p.ticks(), 21_001);
+        assert!((p.dollars() - 2.1001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rounding_to_nearest_tick() {
+        assert_eq!(Price::from_dollars(0.00014).ticks(), 1);
+        assert_eq!(Price::from_dollars(0.00016).ticks(), 2);
+        assert_eq!(Price::from_dollars(0.0).ticks(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid dollar amount")]
+    fn rejects_negative_dollars() {
+        Price::from_dollars(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid dollar amount")]
+    fn rejects_nan_dollars() {
+        Price::from_dollars(f64::NAN);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Price::from_ticks(100);
+        let b = Price::from_ticks(30);
+        assert_eq!(a + b, Price::from_ticks(130));
+        assert_eq!(a - b, Price::from_ticks(70));
+        let mut c = a;
+        c += b;
+        assert_eq!(c.ticks(), 130);
+        assert_eq!(a.times(3).ticks(), 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflowed")]
+    fn subtraction_underflow_panics() {
+        let _ = Price::from_ticks(1) - Price::from_ticks(2);
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(Price::MAX.saturating_add(Price::TICK), Price::MAX);
+        assert_eq!(
+            Price::from_ticks(1).saturating_sub(Price::from_ticks(5)),
+            Price::ZERO
+        );
+    }
+
+    #[test]
+    fn scaling() {
+        let od = Price::from_dollars(0.105); // c4.large-era On-demand
+        assert_eq!(od.scale(0.8).ticks(), 840);
+        assert_eq!(od.scale(0.0), Price::ZERO);
+        assert_eq!(od.scale(1.0), od);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scale factor")]
+    fn scale_rejects_negative() {
+        Price::TICK.scale(-0.5);
+    }
+
+    #[test]
+    fn ordering_and_min_max() {
+        let lo = Price::from_ticks(5);
+        let hi = Price::from_ticks(9);
+        assert!(lo < hi);
+        assert_eq!(lo.max(hi), hi);
+        assert_eq!(lo.min(hi), lo);
+    }
+
+    #[test]
+    fn display_formats_four_decimals() {
+        assert_eq!(Price::from_ticks(21_001).to_string(), "$2.1001");
+        assert_eq!(Price::from_ticks(7).to_string(), "$0.0007");
+        assert_eq!(Price::ZERO.to_string(), "$0.0000");
+        assert_eq!(Price::from_dollars(9.5).to_string(), "$9.5000");
+    }
+
+    #[test]
+    fn sum_of_prices() {
+        let total: Price = [1u64, 2, 3].iter().map(|&t| Price::from_ticks(t)).sum();
+        assert_eq!(total.ticks(), 6);
+    }
+}

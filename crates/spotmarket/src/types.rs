@@ -1,0 +1,257 @@
+//! Identifiers for the market taxonomy: Regions, Availability Zones,
+//! instance types, and the `(AZ, type)` combination users must choose when
+//! bidding (paper §2, request tuple (1)).
+
+use std::fmt;
+
+/// An EC2 Region — an independent instantiation of the service.
+///
+/// The paper's study covers exactly these three (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Region {
+    /// us-east-1 (N. Virginia); 4 AZs visible to the study account.
+    UsEast1,
+    /// us-west-1 (N. California); 2 AZs.
+    UsWest1,
+    /// us-west-2 (Oregon); 3 AZs.
+    UsWest2,
+}
+
+impl Region {
+    /// All regions in the study.
+    pub const ALL: [Region; 3] = [Region::UsEast1, Region::UsWest1, Region::UsWest2];
+
+    /// Canonical AWS name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Region::UsEast1 => "us-east-1",
+            Region::UsWest1 => "us-west-1",
+            Region::UsWest2 => "us-west-2",
+        }
+    }
+
+    /// Number of AZs visible to the experimental account (paper §4.1
+    /// footnote 5: 4 + 2 + 3 = 9 total).
+    pub fn az_count(self) -> u8 {
+        match self {
+            Region::UsEast1 => 4,
+            Region::UsWest1 => 2,
+            Region::UsWest2 => 3,
+        }
+    }
+
+    /// The AZs of this region.
+    pub fn azs(self) -> impl Iterator<Item = Az> {
+        (0..self.az_count()).map(move |i| Az::new(self, i))
+    }
+
+    /// Letter offset of this region's first visible AZ. The study account
+    /// saw us-east-1's zones as b..e (paper Table 4 rows), the others as
+    /// a-based.
+    pub fn first_letter_offset(self) -> u8 {
+        match self {
+            Region::UsEast1 => 1,
+            Region::UsWest1 | Region::UsWest2 => 0,
+        }
+    }
+
+    /// On-demand price multiplier relative to us-east-1 (regions price
+    /// independently; us-west-1 has historically been the most expensive).
+    pub fn od_multiplier(self) -> f64 {
+        match self {
+            Region::UsEast1 => 1.00,
+            Region::UsWest1 => 1.17,
+            Region::UsWest2 => 1.00,
+        }
+    }
+
+    /// Parses a canonical region name.
+    pub fn parse(name: &str) -> Option<Region> {
+        Region::ALL.into_iter().find(|r| r.name() == name)
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An Availability Zone: a region plus a zero-based zone index.
+///
+/// Index 0 is suffix 'a', 1 is 'b', and so on — these are *canonical*
+/// (deobfuscated) names; per-account remapping lives in
+/// [`crate::obfuscation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Az {
+    region: Region,
+    index: u8,
+}
+
+impl Az {
+    /// Creates an AZ.
+    ///
+    /// # Panics
+    /// Panics if `index` exceeds the region's AZ count.
+    pub fn new(region: Region, index: u8) -> Self {
+        assert!(
+            index < region.az_count(),
+            "{} has only {} AZs, got index {index}",
+            region.name(),
+            region.az_count()
+        );
+        Self { region, index }
+    }
+
+    /// The owning region.
+    pub fn region(self) -> Region {
+        self.region
+    }
+
+    /// Zero-based zone index within the region.
+    pub fn index(self) -> u8 {
+        self.index
+    }
+
+    /// The zone letter suffix (region-dependent start; see
+    /// [`Region::first_letter_offset`]).
+    pub fn letter(self) -> char {
+        (b'a' + self.region.first_letter_offset() + self.index) as char
+    }
+
+    /// Canonical AWS-style name, e.g. `us-east-1c`.
+    pub fn name(self) -> String {
+        format!("{}{}", self.region.name(), self.letter())
+    }
+
+    /// All nine study AZs, in region order.
+    pub fn all() -> impl Iterator<Item = Az> {
+        Region::ALL.into_iter().flat_map(|r| r.azs())
+    }
+
+    /// A stable dense index over all study AZs (0..9), useful as an array
+    /// key.
+    pub fn dense_index(self) -> usize {
+        let offset: usize = Region::ALL
+            .iter()
+            .take_while(|&&r| r != self.region)
+            .map(|r| r.az_count() as usize)
+            .sum();
+        offset + self.index as usize
+    }
+
+    /// Parses a canonical AZ name, e.g. `us-west-2c`.
+    pub fn parse(name: &str) -> Option<Az> {
+        let (region_part, letter) = name.split_at(name.len().checked_sub(1)?);
+        let region = Region::parse(region_part)?;
+        let letter = letter.chars().next()?;
+        let index = (letter as u8).checked_sub(b'a' + region.first_letter_offset())?;
+        (index < region.az_count()).then(|| Az::new(region, index))
+    }
+}
+
+impl fmt::Display for Az {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.region.name(), self.letter())
+    }
+}
+
+/// Index of an instance type in the [`crate::catalog::Catalog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TypeId(pub u16);
+
+impl TypeId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A bidable market: one instance type in one AZ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Combo {
+    /// The Availability Zone.
+    pub az: Az,
+    /// The instance type.
+    pub ty: TypeId,
+}
+
+impl Combo {
+    /// Creates a combo.
+    pub fn new(az: Az, ty: TypeId) -> Self {
+        Self { az, ty }
+    }
+
+    /// A stable 64-bit key (for stream derivation and hashing).
+    pub fn key(self) -> u64 {
+        (self.az.dense_index() as u64) << 32 | self.ty.0 as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_names_and_counts() {
+        assert_eq!(Region::UsEast1.name(), "us-east-1");
+        assert_eq!(Region::UsEast1.az_count(), 4);
+        assert_eq!(Region::UsWest1.az_count(), 2);
+        assert_eq!(Region::UsWest2.az_count(), 3);
+        let total: u8 = Region::ALL.iter().map(|r| r.az_count()).sum();
+        assert_eq!(total, 9, "paper reports 9 AZs across the three regions");
+    }
+
+    #[test]
+    fn az_names() {
+        let az = Az::new(Region::UsEast1, 2);
+        assert_eq!(az.name(), "us-east-1d");
+        assert_eq!(az.letter(), 'd');
+        assert_eq!(Az::new(Region::UsEast1, 0).name(), "us-east-1b");
+        assert_eq!(Az::new(Region::UsWest2, 0).name(), "us-west-2a");
+    }
+
+    #[test]
+    #[should_panic(expected = "only 2 AZs")]
+    fn az_index_bounds_checked() {
+        Az::new(Region::UsWest1, 2);
+    }
+
+    #[test]
+    fn dense_index_is_a_bijection_over_nine() {
+        let idxs: Vec<usize> = Az::all().map(|a| a.dense_index()).collect();
+        assert_eq!(idxs, (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn az_parse_round_trips() {
+        for az in Az::all() {
+            assert_eq!(Az::parse(&az.name()), Some(az));
+        }
+        assert_eq!(
+            Az::parse("us-east-1a"),
+            None,
+            "study account saw b..e in us-east-1 (paper Table 4)"
+        );
+        assert!(Az::parse("us-east-1e").is_some());
+        assert_eq!(Az::parse("us-west-1c"), None);
+        assert_eq!(Az::parse("eu-west-1a"), None);
+        assert_eq!(Az::parse(""), None);
+    }
+
+    #[test]
+    fn region_parse() {
+        assert_eq!(Region::parse("us-west-2"), Some(Region::UsWest2));
+        assert_eq!(Region::parse("us-east-2"), None);
+    }
+
+    #[test]
+    fn combo_keys_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for az in Az::all() {
+            for ty in 0..60u16 {
+                assert!(seen.insert(Combo::new(az, TypeId(ty)).key()));
+            }
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Numerically stable binomial PMF/CDF kernels.
+//!
+//! The QBETS bound inversion needs `BinomCdf(k; n, p)` for `n` up to the
+//! length of a three-month, five-minute-resolution price history (~26 000)
+//! and `p = 1 - q` typically a few percent. Direct summation of
+//! `C(n,j) p^j (1-p)^(n-j)` underflows long before `n = 26 000`, so all
+//! terms are accumulated in log space via the PMF recurrence
+//!
+//! ```text
+//! ln pmf(0)   = n ln(1-p)
+//! ln pmf(j+1) = ln pmf(j) + ln(n-j) - ln(j+1) + ln p - ln(1-p)
+//! ```
+//!
+//! with a running log-sum-exp.
+
+// Reference-implementation coefficients are kept verbatim.
+#![allow(clippy::excessive_precision)]
+
+/// Natural log of the binomial coefficient `C(n, k)`.
+///
+/// Uses `ln Γ` (Lanczos) so it stays exact-enough (`~1e-12` relative) for any
+/// `n` this workspace sees.
+///
+/// # Panics
+/// Panics if `k > n`.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    assert!(k <= n, "ln_choose requires k <= n");
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_gamma((n + 1) as f64) - ln_gamma((k + 1) as f64) - ln_gamma((n - k + 1) as f64)
+}
+
+/// Natural log of the Gamma function for positive arguments.
+///
+/// Lanczos approximation (g = 7, n = 9 coefficients), accurate to ~1e-13
+/// relative error over the positive reals.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0");
+    // Coefficients for g = 7 (Godfrey / Numerical Recipes style).
+    const COEFFS: [f64; 8] = [
+        676.5203681218851,
+        -1259.1392167224028,
+        771.32342877765313,
+        -176.61502916214059,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.9843695780195716e-6,
+        1.5056327351493116e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps accuracy for small x.
+        let pi = std::f64::consts::PI;
+        return pi.ln() - (pi * x).sin().ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = 0.99999999999980993;
+    for (i, &c) in COEFFS.iter().enumerate() {
+        acc += c / (x + (i + 1) as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (std::f64::consts::TAU).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Log of the binomial PMF `P(X = k)` for `X ~ Binomial(n, p)`.
+///
+/// Degenerate `p` values (0 or 1) are handled exactly.
+///
+/// # Panics
+/// Panics if `k > n` or `p` is outside `[0, 1]`.
+pub fn ln_pmf(k: u64, n: u64, p: f64) -> f64 {
+    assert!(k <= n, "ln_pmf requires k <= n");
+    assert!((0.0..=1.0).contains(&p), "ln_pmf requires p in [0,1]");
+    if p == 0.0 {
+        return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+    }
+    if p == 1.0 {
+        return if k == n { 0.0 } else { f64::NEG_INFINITY };
+    }
+    ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln()
+}
+
+/// Binomial CDF `P(X <= k)` for `X ~ Binomial(n, p)`.
+///
+/// Computed by summing PMF terms in log space from `j = 0`; cost is `O(k)`.
+/// For the tail-heavy direction (`k` close to `n`) the complement is summed
+/// instead, so the cost is `O(min(k+1, n-k))`.
+///
+/// # Panics
+/// Panics if `p` is outside `[0, 1]`.
+pub fn cdf(k: u64, n: u64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "cdf requires p in [0,1]");
+    if k >= n {
+        return 1.0;
+    }
+    if p == 0.0 {
+        return 1.0;
+    }
+    if p == 1.0 {
+        return 0.0; // k < n here
+    }
+    if (k + 1) as f64 <= 0.5 * (n as f64) * p.min(1.0) || k < n - k {
+        sum_pmf_range(0, k, n, p)
+    } else {
+        1.0 - sum_pmf_range(k + 1, n, n, p)
+    }
+}
+
+/// Survival function `P(X >= k)`.
+pub fn sf(k: u64, n: u64, p: f64) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    1.0 - cdf(k - 1, n, p)
+}
+
+/// Sums `P(X = j)` for `j` in `lo..=hi` using the log-space recurrence.
+fn sum_pmf_range(lo: u64, hi: u64, n: u64, p: f64) -> f64 {
+    debug_assert!(lo <= hi && hi <= n);
+    debug_assert!(p > 0.0 && p < 1.0);
+    let ln_odds = p.ln() - (1.0 - p).ln();
+    let mut ln_term = ln_pmf(lo, n, p);
+    // Log-sum-exp with a running max: terms are unimodal in j so we track
+    // the max seen and rescale once at the end via the standard streaming
+    // formulation: acc holds sum * exp(-m).
+    let mut m = ln_term;
+    let mut acc = 1.0f64;
+    let mut j = lo;
+    while j < hi {
+        ln_term += ((n - j) as f64).ln() - ((j + 1) as f64).ln() + ln_odds;
+        j += 1;
+        if ln_term > m {
+            acc = acc * (m - ln_term).exp() + 1.0;
+            m = ln_term;
+        } else {
+            acc += (ln_term - m).exp();
+        }
+    }
+    let result = (m + acc.ln()).exp();
+    result.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Direct O(n) summation in plain f64 — only valid for small n.
+    fn naive_cdf(k: u64, n: u64, p: f64) -> f64 {
+        let mut total = 0.0;
+        for j in 0..=k.min(n) {
+            let mut c = 1.0f64;
+            for i in 0..j {
+                c *= (n - i) as f64 / (i + 1) as f64;
+            }
+            total += c * p.powi(j as i32) * (1.0 - p).powi((n - j) as i32);
+        }
+        total
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        let mut fact = 1.0f64;
+        for n in 1..20u32 {
+            fact *= n as f64;
+            let lg = ln_gamma((n + 1) as f64);
+            assert!(
+                (lg - fact.ln()).abs() < 1e-10,
+                "n={n}: {lg} vs {}",
+                fact.ln()
+            );
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(1/2) = sqrt(π)
+        let expected = std::f64::consts::PI.sqrt().ln();
+        assert!((ln_gamma(0.5) - expected).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ln_choose_small_cases() {
+        assert_eq!(ln_choose(5, 0), 0.0);
+        assert_eq!(ln_choose(5, 5), 0.0);
+        assert!((ln_choose(5, 2) - 10f64.ln()).abs() < 1e-10);
+        assert!((ln_choose(52, 5) - 2598960f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "k <= n")]
+    fn ln_choose_rejects_k_gt_n() {
+        ln_choose(3, 4);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &(n, p) in &[(10u64, 0.3), (50, 0.025), (100, 0.5), (200, 0.9)] {
+            let total: f64 = (0..=n).map(|k| ln_pmf(k, n, p).exp()).sum();
+            assert!((total - 1.0).abs() < 1e-9, "n={n} p={p}: {total}");
+        }
+    }
+
+    #[test]
+    fn pmf_degenerate_p() {
+        assert_eq!(ln_pmf(0, 10, 0.0), 0.0);
+        assert_eq!(ln_pmf(3, 10, 0.0), f64::NEG_INFINITY);
+        assert_eq!(ln_pmf(10, 10, 1.0), 0.0);
+        assert_eq!(ln_pmf(9, 10, 1.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn cdf_matches_naive_small_n() {
+        for &(n, p) in &[(1u64, 0.5), (10, 0.3), (20, 0.025), (30, 0.975)] {
+            for k in 0..=n {
+                let fast = cdf(k, n, p);
+                let slow = naive_cdf(k, n, p);
+                assert!(
+                    (fast - slow).abs() < 1e-9,
+                    "k={k} n={n} p={p}: {fast} vs {slow}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone_in_k() {
+        let (n, p) = (500u64, 0.04);
+        let mut prev = 0.0;
+        for k in 0..=n {
+            let c = cdf(k, n, p);
+            assert!(c >= prev - 1e-12, "k={k}: {c} < {prev}");
+            prev = c;
+        }
+        assert!((prev - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_large_n_does_not_underflow() {
+        // Mean = 26000 * 0.025 = 650; CDF at the mean should be ~0.5.
+        let c = cdf(650, 26_000, 0.025);
+        assert!((0.4..0.6).contains(&c), "cdf at mean = {c}");
+        // Far-left tail is tiny but positive-representable.
+        let tail = cdf(400, 26_000, 0.025);
+        assert!(tail > 0.0 && tail < 1e-10, "left tail = {tail:e}");
+        // Far-right is 1.
+        assert!((cdf(900, 26_000, 0.025) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cdf_degenerate_p() {
+        assert_eq!(cdf(0, 10, 0.0), 1.0);
+        assert_eq!(cdf(9, 10, 1.0), 0.0);
+        assert_eq!(cdf(10, 10, 1.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_k_at_or_above_n_is_one() {
+        assert_eq!(cdf(10, 10, 0.5), 1.0);
+        assert_eq!(cdf(11, 10, 0.5), 1.0);
+    }
+
+    #[test]
+    fn sf_complements_cdf() {
+        let (n, p) = (100u64, 0.2);
+        for k in 0..=n {
+            let s = sf(k, n, p);
+            let expected = if k == 0 { 1.0 } else { 1.0 - cdf(k - 1, n, p) };
+            assert!((s - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn symmetric_binomial_midpoint() {
+        // For p = 0.5 and even n, P(X <= n/2 - 1) + P(X = n/2)/... use
+        // symmetry: P(X <= n/2) + P(X <= n/2 - 1) = 1 + P(X = n/2) rearranged;
+        // simply check CDF(n/2) > 0.5 > CDF(n/2 - 1).
+        let n = 100u64;
+        assert!(cdf(50, n, 0.5) > 0.5);
+        assert!(cdf(49, n, 0.5) < 0.5);
+    }
+}

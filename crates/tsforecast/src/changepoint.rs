@@ -1,0 +1,358 @@
+//! Non-parametric binomial change-point detection.
+//!
+//! QBETS assumes the series is stationary *within a segment* and corrects
+//! for regime changes by truncating history when one is detected (paper
+//! §3.1: "the method also attempts to detect change points ... so that it
+//! can apply this inference technique to only the most recent segment").
+//!
+//! The detector here is a guarded median-run binomial test. Under
+//! stationarity each new observation falls above the segment median with
+//! probability 1/2, so the count of above-median observations among the
+//! most recent `window` is `Binomial(window, 1/2)`; a two-sided tail
+//! probability below `alpha` is evidence of a shift. Because spot-price
+//! series are strongly autocorrelated (consecutive updates are not
+//! independent trials), the run test alone over-fires on slow excursions;
+//! a second guard therefore requires the *window median* to lie outside
+//! the segment's inner `[band, 1-band]` quantile range — a wandering
+//! AR(1) hugs the middle of the marginal distribution and is suppressed,
+//! while a genuine level shift (several marginal standard deviations in
+//! the generator's regimes) clears the band. Short spikes (a point or two)
+//! move neither the count nor the window median enough to fire; sustained
+//! level shifts fire within roughly one window.
+
+use crate::binomial;
+use std::collections::VecDeque;
+
+/// Detector tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChangePointConfig {
+    /// Number of most-recent observations tested (and retained after a
+    /// truncation). Default 24 (two hours of five-minute price updates).
+    pub window: usize,
+    /// Two-sided significance level for the binomial run test.
+    pub alpha: f64,
+    /// Minimum segment length before testing begins; must be at least
+    /// `2 * window` so the median is dominated by pre-window history.
+    pub min_segment: usize,
+    /// Inner quantile band guard: the window median must fall outside the
+    /// segment's `[band, 1-band]` quantiles for a shift to fire.
+    pub band: f64,
+}
+
+impl Default for ChangePointConfig {
+    fn default() -> Self {
+        Self {
+            window: 24,
+            alpha: 0.005,
+            min_segment: 72,
+            band: 0.05,
+        }
+    }
+}
+
+impl ChangePointConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics on a zero window, `alpha` outside `(0, 1)`, or
+    /// `min_segment < 2 * window`.
+    pub fn validate(&self) {
+        assert!(self.window > 0, "window must be positive");
+        assert!(
+            self.alpha > 0.0 && self.alpha < 1.0,
+            "alpha must be in (0,1)"
+        );
+        assert!(
+            self.min_segment >= 2 * self.window,
+            "min_segment must be >= 2*window"
+        );
+        assert!(
+            self.band > 0.0 && self.band < 0.5,
+            "band must be in (0, 0.5)"
+        );
+    }
+}
+
+/// Direction of a detected level shift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shift {
+    /// Recent observations sit improbably far above the segment median.
+    Up,
+    /// Recent observations sit improbably far below the segment median.
+    Down,
+}
+
+/// Sliding-window binomial change-point detector.
+#[derive(Debug, Clone)]
+pub struct ChangePointDetector {
+    cfg: ChangePointConfig,
+    recent: VecDeque<u64>,
+}
+
+impl ChangePointDetector {
+    /// Creates a detector.
+    pub fn new(cfg: ChangePointConfig) -> Self {
+        cfg.validate();
+        Self {
+            recent: VecDeque::with_capacity(cfg.window),
+            cfg,
+        }
+    }
+
+    /// The configured window size.
+    pub fn window(&self) -> usize {
+        self.cfg.window
+    }
+
+    /// Pushes a new observation into the sliding window.
+    pub fn push(&mut self, value: u64) {
+        if self.recent.len() == self.cfg.window {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(value);
+    }
+
+    /// The currently buffered recent observations, oldest first. After a
+    /// detection the caller rebuilds its segment from exactly these values.
+    pub fn recent(&self) -> impl Iterator<Item = u64> + '_ {
+        self.recent.iter().copied()
+    }
+
+    /// The median of the currently buffered window (`None` while empty).
+    pub fn window_median(&self) -> Option<u64> {
+        if self.recent.is_empty() {
+            return None;
+        }
+        let mut vals: Vec<u64> = self.recent.iter().copied().collect();
+        vals.sort_unstable();
+        Some(vals[vals.len() / 2])
+    }
+
+    /// Tests the window against the segment's `median` and inner quantile
+    /// `band` (`band = (lo, hi)`, the segment's `[band, 1-band]` quantiles);
+    /// `segment_len` is the total segment length including the windowed
+    /// observations.
+    ///
+    /// Returns the shift direction if both the median-run binomial test and
+    /// the band guard reject stationarity, `None` otherwise (including when
+    /// the segment is shorter than `min_segment` or the window not full).
+    pub fn detect(&self, median: u64, band: (u64, u64), segment_len: usize) -> Option<Shift> {
+        if segment_len < self.cfg.min_segment || self.recent.len() < self.cfg.window {
+            return None;
+        }
+        let mut above = 0u64;
+        let mut below = 0u64;
+        for &v in &self.recent {
+            if v > median {
+                above += 1;
+            } else if v < median {
+                below += 1;
+            }
+        }
+        let trials = above + below;
+        if trials == 0 {
+            // Entire window ties the median: a constant run, no evidence of
+            // a shift in either direction.
+            return None;
+        }
+        let window_median = self.window_median().expect("window is full here");
+        // Two-sided: each tail tested at alpha/2, gated by the band guard.
+        let half = self.cfg.alpha / 2.0;
+        if window_median > band.1 && binomial::sf(above, trials, 0.5) < half {
+            return Some(Shift::Up);
+        }
+        if window_median < band.0 && binomial::sf(below, trials, 0.5) < half {
+            return Some(Shift::Down);
+        }
+        None
+    }
+
+    /// Empties the window (used after an external reset).
+    pub fn clear(&mut self) {
+        self.recent.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // A window of w all-above observations has two-sided p-value 0.5^w, so
+    // alpha must exceed 2 * 0.5^w for the strongest possible shift to fire;
+    // 0.02 works for the w = 8 cases below.
+    fn cfg(window: usize) -> ChangePointConfig {
+        ChangePointConfig {
+            window,
+            alpha: 0.02,
+            min_segment: 2 * window,
+            band: 0.05,
+        }
+    }
+
+    #[test]
+    fn default_config_is_valid() {
+        ChangePointConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "min_segment")]
+    fn rejects_small_min_segment() {
+        ChangePointConfig {
+            min_segment: 24,
+            ..ChangePointConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn rejects_zero_window() {
+        ChangePointConfig {
+            window: 0,
+            min_segment: 10,
+            ..ChangePointConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "band")]
+    fn rejects_bad_band() {
+        ChangePointConfig {
+            band: 0.5,
+            ..ChangePointConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn no_detection_before_min_segment() {
+        let mut d = ChangePointDetector::new(cfg(8));
+        for _ in 0..8 {
+            d.push(1000); // all far above median 0
+        }
+        assert_eq!(d.detect(0, (0, 10), 15), None, "segment too short");
+        assert!(d.detect(0, (0, 10), 16).is_some(), "long enough now");
+    }
+
+    #[test]
+    fn no_detection_with_partial_window() {
+        let mut d = ChangePointDetector::new(cfg(8));
+        for _ in 0..5 {
+            d.push(1000);
+        }
+        assert_eq!(d.detect(0, (0, 10), 100), None);
+    }
+
+    #[test]
+    fn stationary_window_does_not_fire() {
+        let mut d = ChangePointDetector::new(cfg(16));
+        // Alternate around the median.
+        for i in 0..16u64 {
+            d.push(if i % 2 == 0 { 90 } else { 110 });
+        }
+        assert_eq!(d.detect(100, (90, 110), 200), None);
+    }
+
+    #[test]
+    fn upward_shift_fires_up() {
+        let mut d = ChangePointDetector::new(cfg(16));
+        for _ in 0..16 {
+            d.push(500);
+        }
+        assert_eq!(d.detect(100, (90, 110), 200), Some(Shift::Up));
+    }
+
+    #[test]
+    fn downward_shift_fires_down() {
+        let mut d = ChangePointDetector::new(cfg(16));
+        for _ in 0..16 {
+            d.push(10);
+        }
+        assert_eq!(d.detect(100, (90, 110), 200), Some(Shift::Down));
+    }
+
+    #[test]
+    fn short_spike_does_not_fire() {
+        let mut d = ChangePointDetector::new(cfg(16));
+        for i in 0..16u64 {
+            // Two-point spike in an otherwise balanced window.
+            let v = match i {
+                7 | 8 => 10_000,
+                i if i % 2 == 0 => 90,
+                _ => 110,
+            };
+            d.push(v);
+        }
+        assert_eq!(d.detect(100, (90, 110), 200), None);
+    }
+
+    #[test]
+    fn band_guard_blocks_runs_hugging_the_median() {
+        // All 16 recent values sit just above the median but inside the
+        // band: the run test alone would fire, the guard must block it.
+        let mut d = ChangePointDetector::new(cfg(16));
+        for _ in 0..16 {
+            d.push(105);
+        }
+        assert_eq!(d.detect(100, (90, 110), 200), None);
+        // Outside the band the same run fires.
+        assert_eq!(d.detect(100, (90, 104), 200), Some(Shift::Up));
+    }
+
+    #[test]
+    fn all_ties_do_not_fire() {
+        let mut d = ChangePointDetector::new(cfg(8));
+        for _ in 0..8 {
+            d.push(100);
+        }
+        assert_eq!(d.detect(100, (100, 100), 100), None);
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut d = ChangePointDetector::new(cfg(4));
+        for v in [1u64, 2, 3, 4, 5, 6] {
+            d.push(v);
+        }
+        let recent: Vec<u64> = d.recent().collect();
+        assert_eq!(recent, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn clear_empties_window() {
+        let mut d = ChangePointDetector::new(cfg(4));
+        d.push(1);
+        d.clear();
+        assert_eq!(d.recent().count(), 0);
+    }
+
+    #[test]
+    fn false_positive_rate_is_controlled() {
+        // Feed i.i.d. data and count detections across many fresh windows;
+        // should be on the order of alpha, certainly below 20x alpha.
+        use simrng::{Rng, SeedableFrom, Xoshiro256pp};
+        let mut rng = Xoshiro256pp::seed_from_u64(99);
+        let trials = 2000;
+        let mut fired = 0;
+        for _ in 0..trials {
+            let mut d = ChangePointDetector::new(cfg(16));
+            let mut all: Vec<u64> = Vec::new();
+            for _ in 0..64 {
+                let v = rng.next_below(1_000_000);
+                d.push(v);
+                all.push(v);
+            }
+            let mut sorted = all.clone();
+            sorted.sort_unstable();
+            let median = sorted[sorted.len() / 2];
+            let lo = sorted[(0.05 * sorted.len() as f64) as usize];
+            let hi = sorted[(0.95 * sorted.len() as f64) as usize];
+            if d.detect(median, (lo, hi), all.len()).is_some() {
+                fired += 1;
+            }
+        }
+        let rate = fired as f64 / trials as f64;
+        assert!(rate < 0.05, "false positive rate {rate}");
+    }
+}

@@ -1,0 +1,140 @@
+//! Empirical-CDF quantile "estimator" — the naive baseline of paper §4.1.3.
+//!
+//! Uses the raw sample quantile as the bound with no confidence correction,
+//! no change-point handling, and no autocorrelation compensation. Simple to
+//! implement and understand, but — as Table 1 shows — it misses the
+//! durability target for a noticeable fraction of markets because the
+//! sample quantile is an unbiased *estimate*, not a conservative *bound*.
+
+use crate::estimator::BoundEstimator;
+use crate::orderstat::{OrderStat, TreapMultiset};
+
+/// Online empirical-CDF quantile estimator over the full history.
+#[derive(Debug, Clone, Default)]
+pub struct EcdfEstimator {
+    multiset: TreapMultiset,
+}
+
+impl EcdfEstimator {
+    /// Creates an empty estimator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an estimator pre-loaded with `history`.
+    pub fn from_history(history: &[u64]) -> Self {
+        let mut e = Self::new();
+        for &v in history {
+            e.observe(v);
+        }
+        e
+    }
+
+    /// The empirical `q`-quantile (type 1: `ceil(q n)`-th smallest).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!(q > 0.0 && q <= 1.0, "q must be in (0,1], got {q}");
+        let n = self.multiset.len();
+        if n == 0 {
+            return None;
+        }
+        let k = ((q * n as f64).ceil() as usize).clamp(1, n);
+        self.multiset.kth_smallest(k)
+    }
+}
+
+impl BoundEstimator for EcdfEstimator {
+    fn observe(&mut self, value: u64) {
+        self.multiset.insert(value);
+    }
+
+    fn upper_bound(&self, q: f64) -> Option<u64> {
+        self.quantile(q)
+    }
+
+    fn lower_bound(&self, q: f64) -> Option<u64> {
+        self.quantile(q)
+    }
+
+    fn observed(&self) -> usize {
+        self.multiset.len()
+    }
+
+    fn segment_len(&self) -> usize {
+        self.multiset.len()
+    }
+
+    fn reset(&mut self) {
+        self.multiset.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simrng::{Rng, SeedableFrom, Xoshiro256pp};
+
+    #[test]
+    fn empty_estimator_returns_none() {
+        let e = EcdfEstimator::new();
+        assert_eq!(e.quantile(0.5), None);
+        assert_eq!(e.upper_bound(0.99), None);
+    }
+
+    #[test]
+    fn quantiles_of_small_sample() {
+        let e = EcdfEstimator::from_history(&[10, 20, 30, 40, 50]);
+        assert_eq!(e.quantile(0.2), Some(10));
+        assert_eq!(e.quantile(0.5), Some(30));
+        assert_eq!(e.quantile(0.9), Some(50));
+        assert_eq!(e.quantile(1.0), Some(50));
+        assert_eq!(e.quantile(0.01), Some(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be in")]
+    fn rejects_zero_quantile() {
+        EcdfEstimator::from_history(&[1]).quantile(0.0);
+    }
+
+    #[test]
+    fn upper_equals_lower_for_ecdf() {
+        let e = EcdfEstimator::from_history(&[3, 1, 4, 1, 5, 9, 2, 6]);
+        for q in [0.25, 0.5, 0.975] {
+            assert_eq!(e.upper_bound(q), e.lower_bound(q));
+        }
+    }
+
+    #[test]
+    fn ecdf_is_less_conservative_than_qbets() {
+        // On the same i.i.d. sample the QBETS upper bound must be >= the raw
+        // empirical quantile — this ordering is exactly why ECDF misses the
+        // durability target in Table 1 while QBETS does not.
+        use crate::qbets::{Qbets, QbetsConfig};
+        let mut rng = Xoshiro256pp::seed_from_u64(10);
+        let hist: Vec<u64> = (0..3000).map(|_| rng.next_below(1_000_000)).collect();
+        let ecdf = EcdfEstimator::from_history(&hist);
+        let qb = Qbets::from_history(
+            QbetsConfig {
+                changepoint: None,
+                autocorr_correction: false,
+                ..QbetsConfig::default()
+            },
+            &hist,
+        );
+        let qe = ecdf.upper_bound(0.975).unwrap();
+        let qq = qb.upper_bound(0.975).unwrap();
+        assert!(qq >= qe, "qbets {qq} must dominate ecdf {qe}");
+    }
+
+    #[test]
+    fn observed_tracks_inserts_and_reset() {
+        let mut e = EcdfEstimator::new();
+        for v in 0..10 {
+            e.observe(v);
+        }
+        assert_eq!(e.observed(), 10);
+        assert_eq!(e.segment_len(), 10);
+        e.reset();
+        assert_eq!(e.observed(), 0);
+    }
+}

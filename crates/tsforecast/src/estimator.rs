@@ -1,0 +1,251 @@
+//! The [`BoundEstimator`] abstraction and shared segment bookkeeping.
+//!
+//! DrAFTS is parameterized by *how* quantile bounds are predicted: the SC'17
+//! evaluation swaps QBETS for an AR(1) model and for the raw empirical CDF
+//! while keeping the surrounding two-step algorithm fixed (paper §4.1.3).
+//! [`BoundEstimator`] is that seam. [`SegmentState`] carries the bookkeeping
+//! every segment-aware estimator shares: the current stationary segment, an
+//! order-statistic multiset over it, running lag-1 moments, and the
+//! change-point detector that truncates all three.
+
+use crate::changepoint::{ChangePointConfig, ChangePointDetector};
+use crate::orderstat::{OrderStat, TreapMultiset};
+use crate::stats::RunningLag1;
+
+/// An online predictor of confidence bounds on quantiles of the next
+/// observation of a univariate series.
+pub trait BoundEstimator {
+    /// Feeds one observation.
+    fn observe(&mut self, value: u64);
+
+    /// Predicted upper bound on the `q`-quantile of future observations.
+    /// `None` when the estimator does not yet have enough history.
+    fn upper_bound(&self, q: f64) -> Option<u64>;
+
+    /// Predicted lower bound on the `q`-quantile of future observations.
+    fn lower_bound(&self, q: f64) -> Option<u64>;
+
+    /// Total observations ever fed.
+    fn observed(&self) -> usize;
+
+    /// Length of the segment currently used for inference.
+    fn segment_len(&self) -> usize;
+
+    /// Forgets all state.
+    fn reset(&mut self);
+}
+
+/// Shared state for segment-aware estimators (QBETS, AR(1)).
+#[derive(Debug, Clone)]
+pub struct SegmentState {
+    segment: Vec<u64>,
+    multiset: TreapMultiset,
+    lag1: RunningLag1,
+    detector: Option<ChangePointDetector>,
+    total: usize,
+    changepoints: usize,
+}
+
+impl SegmentState {
+    /// Creates state; `cp` enables change-point truncation.
+    pub fn new(cp: Option<ChangePointConfig>) -> Self {
+        Self {
+            segment: Vec::new(),
+            multiset: TreapMultiset::new(),
+            lag1: RunningLag1::new(),
+            detector: cp.map(ChangePointDetector::new),
+            total: 0,
+            changepoints: 0,
+        }
+    }
+
+    /// Feeds one observation; returns `true` if a change point fired and
+    /// the segment was truncated to the detector window.
+    pub fn observe(&mut self, value: u64) -> bool {
+        self.total += 1;
+        self.segment.push(value);
+        self.multiset.insert(value);
+        self.lag1.push(value);
+        let Some(detector) = self.detector.as_mut() else {
+            return false;
+        };
+        detector.push(value);
+        let n = self.segment.len();
+        let median = self
+            .multiset
+            .kth_smallest(n.div_ceil(2))
+            .expect("segment non-empty after push");
+        // Inner quantile band for the detector's guard (5% / 95%).
+        let lo_idx = ((n as f64 * 0.05).ceil() as usize).clamp(1, n);
+        let hi_idx = ((n as f64 * 0.95).ceil() as usize).clamp(1, n);
+        let band = (
+            self.multiset.kth_smallest(lo_idx).expect("in range"),
+            self.multiset.kth_smallest(hi_idx).expect("in range"),
+        );
+        let Some(shift) = detector.detect(median, band, n) else {
+            return false;
+        };
+        // Truncate to the post-shift regime: the longest suffix of the
+        // detector window lying strictly on the shift side of the old
+        // median. Keeping the full window would retain pre-shift values that
+        // a handful of stale order statistics could pin the bound to.
+        let window: Vec<u64> = detector.recent().collect();
+        let on_new_side = |v: u64| match shift {
+            crate::changepoint::Shift::Up => v > median,
+            crate::changepoint::Shift::Down => v < median,
+        };
+        let suffix_start = window
+            .iter()
+            .rposition(|&v| !on_new_side(v))
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        let keep: Vec<u64> = if suffix_start >= window.len() {
+            // Newest value ties the old median: fall back to the window.
+            window
+        } else {
+            window[suffix_start..].to_vec()
+        };
+        self.segment.clear();
+        self.multiset.clear();
+        self.lag1 = RunningLag1::new();
+        for &v in &keep {
+            self.segment.push(v);
+            self.multiset.insert(v);
+            self.lag1.push(v);
+        }
+        self.changepoints += 1;
+        true
+    }
+
+    /// Observations in the current segment, arrival order.
+    pub fn segment(&self) -> &[u64] {
+        &self.segment
+    }
+
+    /// Order-statistic view of the current segment.
+    pub fn multiset(&self) -> &TreapMultiset {
+        &self.multiset
+    }
+
+    /// Running lag-1 moments of the current segment.
+    pub fn lag1(&self) -> &RunningLag1 {
+        &self.lag1
+    }
+
+    /// Current segment length.
+    pub fn len(&self) -> usize {
+        self.segment.len()
+    }
+
+    /// Whether no observations are held.
+    pub fn is_empty(&self) -> bool {
+        self.segment.is_empty()
+    }
+
+    /// Total observations ever fed (across truncations).
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Number of change points detected so far.
+    pub fn changepoints(&self) -> usize {
+        self.changepoints
+    }
+
+    /// Forgets everything.
+    pub fn reset(&mut self) {
+        self.segment.clear();
+        self.multiset.clear();
+        self.lag1 = RunningLag1::new();
+        if let Some(d) = self.detector.as_mut() {
+            d.clear();
+        }
+        self.total = 0;
+        self.changepoints = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orderstat::OrderStat;
+
+    #[test]
+    fn observe_without_detector_never_truncates() {
+        let mut s = SegmentState::new(None);
+        for v in 0..500u64 {
+            assert!(!s.observe(v % 7));
+        }
+        assert_eq!(s.len(), 500);
+        assert_eq!(s.total(), 500);
+        assert_eq!(s.changepoints(), 0);
+    }
+
+    #[test]
+    fn level_shift_truncates_segment() {
+        let cfg = ChangePointConfig {
+            window: 16,
+            alpha: 0.005,
+            min_segment: 32,
+            band: 0.05,
+        };
+        let mut s = SegmentState::new(Some(cfg));
+        for i in 0..200u64 {
+            s.observe(100 + i % 5);
+        }
+        assert_eq!(s.changepoints(), 0);
+        let mut truncated = false;
+        for i in 0..32u64 {
+            truncated |= s.observe(10_000 + i % 5);
+        }
+        assert!(truncated, "sustained level shift must fire");
+        assert_eq!(s.changepoints(), 1);
+        assert!(s.len() <= 16 + 32, "segment truncated to recent window");
+        // Post-truncation the segment is dominated by new-regime values;
+        // the suffix rule may retain a few old points that happened to sit
+        // on the shift side of the old median (here: 102..=104 > median).
+        let new_regime = s.segment().iter().filter(|&&v| v >= 10_000).count();
+        assert!(
+            new_regime * 10 >= s.len() * 8,
+            "only {new_regime} of {} retained values are new-regime",
+            s.len()
+        );
+        assert!(s.segment().iter().all(|&v| v >= 10_000 || v <= 104));
+        assert_eq!(s.total(), 232);
+    }
+
+    #[test]
+    fn multiset_tracks_segment_through_truncation() {
+        let cfg = ChangePointConfig {
+            window: 8,
+            alpha: 0.01,
+            min_segment: 16,
+            band: 0.05,
+        };
+        let mut s = SegmentState::new(Some(cfg));
+        for _ in 0..100 {
+            s.observe(50);
+        }
+        for _ in 0..16 {
+            s.observe(5000);
+        }
+        assert_eq!(s.multiset().len(), s.len());
+        let sorted = s.multiset().iter_sorted();
+        let mut seg = s.segment().to_vec();
+        seg.sort_unstable();
+        assert_eq!(sorted, seg);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut s = SegmentState::new(Some(ChangePointConfig::default()));
+        for v in 0..100u64 {
+            s.observe(v);
+        }
+        s.reset();
+        assert!(s.is_empty());
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.changepoints(), 0);
+        assert_eq!(s.multiset().len(), 0);
+    }
+}

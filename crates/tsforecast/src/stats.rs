@@ -1,0 +1,284 @@
+//! Descriptive statistics over integer-valued series.
+//!
+//! Small, allocation-light helpers shared by the estimators: moments,
+//! autocovariance/autocorrelation, empirical quantiles, and a Welford-style
+//! running accumulator with lag-1 cross terms (the state QBETS keeps for its
+//! autocorrelation compensation).
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(xs: &[u64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().map(|&x| x as f64).sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance (divides by n); 0.0 for slices shorter than 2.
+pub fn variance(xs: &[u64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / xs.len() as f64
+}
+
+/// Sample autocovariance at `lag` (biased, divides by n — the standard
+/// choice that keeps the ACF sequence positive semi-definite).
+pub fn autocovariance(xs: &[u64], lag: usize) -> f64 {
+    let n = xs.len();
+    if n == 0 || lag >= n {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let mut acc = 0.0;
+    for t in lag..n {
+        acc += (xs[t] as f64 - m) * (xs[t - lag] as f64 - m);
+    }
+    acc / n as f64
+}
+
+/// Sample autocorrelation at `lag`; 0.0 when variance vanishes.
+pub fn autocorrelation(xs: &[u64], lag: usize) -> f64 {
+    let g0 = autocovariance(xs, 0);
+    if g0 <= 0.0 {
+        return 0.0;
+    }
+    autocovariance(xs, lag) / g0
+}
+
+/// Empirical `q`-quantile using the inverted-CDF (type 1) definition:
+/// the `ceil(q*n)`-th smallest observation.
+///
+/// # Panics
+/// Panics if `xs` is empty or `q` is outside `(0, 1]`.
+pub fn empirical_quantile_sorted(sorted_asc: &[u64], q: f64) -> u64 {
+    assert!(!sorted_asc.is_empty(), "quantile of empty sample");
+    assert!(q > 0.0 && q <= 1.0, "q must be in (0,1], got {q}");
+    let n = sorted_asc.len();
+    let k = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted_asc[k - 1]
+}
+
+/// Running first/second-moment accumulator with lag-1 cross products,
+/// supporting O(1) append and O(1) queries of mean, variance and lag-1
+/// autocorrelation. Truncation (change points) requires a rebuild, which is
+/// what QBETS does.
+#[derive(Debug, Clone, Default)]
+pub struct RunningLag1 {
+    n: usize,
+    sum: f64,
+    sum_sq: f64,
+    /// Sum of x_t * x_{t-1} over consecutive pairs.
+    sum_lag: f64,
+    last: Option<f64>,
+    first: Option<f64>,
+}
+
+impl RunningLag1 {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an accumulator from an existing slice.
+    pub fn from_slice(xs: &[u64]) -> Self {
+        let mut acc = Self::new();
+        for &x in xs {
+            acc.push(x);
+        }
+        acc
+    }
+
+    /// Appends one observation.
+    pub fn push(&mut self, x: u64) {
+        let x = x as f64;
+        self.n += 1;
+        self.sum += x;
+        self.sum_sq += x * x;
+        if let Some(prev) = self.last {
+            self.sum_lag += prev * x;
+        } else {
+            self.first = Some(x);
+        }
+        self.last = Some(x);
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether no observations have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Mean of the observations so far.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// Population variance of the observations so far.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        (self.sum_sq / self.n as f64 - m * m).max(0.0)
+    }
+
+    /// Lag-1 autocorrelation estimate.
+    ///
+    /// Uses the textbook biased estimator
+    /// `rho = (sum_lag/n - mu^2 adjustments) / gamma0`; for the long
+    /// segments QBETS sees the end-effect bias is negligible, and the value
+    /// is clamped to `[-1, 1]`.
+    pub fn lag1_autocorr(&self) -> f64 {
+        if self.n < 3 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        let m = self.mean();
+        let g0 = self.variance();
+        if g0 <= 0.0 {
+            return 0.0;
+        }
+        // gamma1 ~= (1/n) * sum (x_t - m)(x_{t-1} - m)
+        //        = (1/n) * (sum_lag - m*(2*sum - first - last) + (n-1) m^2)
+        let (first, last) = (
+            self.first.unwrap_or_default(),
+            self.last.unwrap_or_default(),
+        );
+        let g1 = (self.sum_lag - m * (2.0 * self.sum - first - last) + (n - 1.0) * m * m) / n;
+        (g1 / g0).clamp(-1.0, 1.0)
+    }
+}
+
+/// Bartlett effective sample size under lag-1 autocorrelation `rho`:
+/// `n_eff = n (1-rho)/(1+rho)`, clamped to `[1, n]`.
+///
+/// Only positive autocorrelation shrinks the sample (negative would inflate
+/// it, which we conservatively ignore).
+pub fn effective_sample_size(n: usize, rho: f64) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    let rho = rho.clamp(0.0, 0.999);
+    let n_eff = n as f64 * (1.0 - rho) / (1.0 + rho);
+    (n_eff.floor() as usize).clamp(1, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simrng::{dist::Normal, Rng, SeedableFrom, Xoshiro256pp};
+
+    #[test]
+    fn mean_and_variance_basic() {
+        let xs = [2u64, 4, 4, 4, 5, 5, 7, 9];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton_degenerate() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(variance(&[5]), 0.0);
+        assert_eq!(autocovariance(&[], 0), 0.0);
+        assert_eq!(autocorrelation(&[3], 1), 0.0);
+    }
+
+    #[test]
+    fn autocorrelation_of_constant_is_zero() {
+        let xs = [7u64; 50];
+        assert_eq!(autocorrelation(&xs, 1), 0.0);
+    }
+
+    #[test]
+    fn autocorrelation_lag0_is_one() {
+        let xs: Vec<u64> = (0..100).map(|i| (i * i) % 37).collect();
+        assert!((autocorrelation(&xs, 1).abs()) <= 1.0);
+        assert!((autocorrelation(&xs, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alternating_series_has_negative_lag1() {
+        let xs: Vec<u64> = (0..200).map(|i| if i % 2 == 0 { 0 } else { 100 }).collect();
+        assert!(autocorrelation(&xs, 1) < -0.9);
+    }
+
+    #[test]
+    fn ar1_series_recovers_rho() {
+        // x_t = 0.7 x_{t-1} + e_t, shifted positive and quantized.
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let norm = Normal::new(0.0, 1.0).unwrap();
+        let mut x = 0.0f64;
+        let xs: Vec<u64> = (0..20_000)
+            .map(|_| {
+                x = 0.7 * x + norm.sample(&mut rng);
+                ((x + 50.0) * 100.0) as u64
+            })
+            .collect();
+        let rho = autocorrelation(&xs, 1);
+        assert!((rho - 0.7).abs() < 0.03, "rho = {rho}");
+    }
+
+    #[test]
+    fn empirical_quantile_type1_definition() {
+        let xs = [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+        assert_eq!(empirical_quantile_sorted(&xs, 0.1), 10);
+        assert_eq!(empirical_quantile_sorted(&xs, 0.5), 50);
+        assert_eq!(empirical_quantile_sorted(&xs, 0.55), 60);
+        assert_eq!(empirical_quantile_sorted(&xs, 1.0), 100);
+        assert_eq!(empirical_quantile_sorted(&xs, 0.001), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empirical_quantile_rejects_empty() {
+        empirical_quantile_sorted(&[], 0.5);
+    }
+
+    #[test]
+    fn running_lag1_matches_batch() {
+        let mut rng = Xoshiro256pp::seed_from_u64(8);
+        let xs: Vec<u64> = (0..500).map(|_| rng.next_below(1000)).collect();
+        let acc = RunningLag1::from_slice(&xs);
+        assert_eq!(acc.len(), 500);
+        assert!((acc.mean() - mean(&xs)).abs() < 1e-9);
+        assert!((acc.variance() - variance(&xs)).abs() < 1e-6);
+        let batch_rho = autocorrelation(&xs, 1);
+        assert!(
+            (acc.lag1_autocorr() - batch_rho).abs() < 0.02,
+            "running {} vs batch {}",
+            acc.lag1_autocorr(),
+            batch_rho
+        );
+    }
+
+    #[test]
+    fn running_lag1_short_series() {
+        let mut acc = RunningLag1::new();
+        assert!(acc.is_empty());
+        assert_eq!(acc.lag1_autocorr(), 0.0);
+        acc.push(5);
+        acc.push(6);
+        assert_eq!(acc.lag1_autocorr(), 0.0); // needs >= 3
+        assert_eq!(acc.len(), 2);
+    }
+
+    #[test]
+    fn effective_sample_size_behaviour() {
+        assert_eq!(effective_sample_size(1000, 0.0), 1000);
+        // rho = 1/3 -> factor (2/3)/(4/3) = 0.5
+        assert_eq!(effective_sample_size(1000, 1.0 / 3.0), 500);
+        assert_eq!(effective_sample_size(1000, -0.5), 1000); // negative ignored
+        assert_eq!(effective_sample_size(1000, 0.9999), 1); // heavy clamp to >= 1
+        assert_eq!(effective_sample_size(0, 0.5), 0);
+    }
+}

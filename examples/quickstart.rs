@@ -1,0 +1,70 @@
+//! Quickstart: generate a market history, compute a DrAFTS durability
+//! quote, and check it against the realized prices.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use drafts::core::predictor::{DraftsConfig, DraftsPredictor};
+use drafts::core::BidDurationGraph;
+use drafts::market::{tracegen, Az, Catalog, Combo, DAY, HOUR};
+
+fn main() {
+    let catalog = Catalog::standard();
+    let combo = Combo::new(
+        Az::parse("us-west-2a").expect("known AZ"),
+        catalog.type_id("c4.large").expect("known type"),
+    );
+    let od = catalog.od_price(combo.ty, combo.az.region());
+    println!(
+        "market: {} in {} (On-demand {})",
+        catalog.spec(combo.ty).name,
+        combo.az.name(),
+        od
+    );
+
+    // 30 days of 5-minute spot prices.
+    let history = tracegen::generate(combo, catalog, &tracegen::TraceConfig::days(30, 7));
+    println!(
+        "history: {} updates, {} .. {}",
+        history.len(),
+        history.min_price().expect("non-empty"),
+        history.max_price().expect("non-empty"),
+    );
+
+    // Predict at day 28 so there is future left to verify against.
+    let now = 28 * DAY;
+    let upto = history.series().index_at(now).expect("inside history");
+    let predictor = DraftsPredictor::new(&history, DraftsConfig::default());
+
+    for hours in [1u64, 6, 12] {
+        let quote = predictor.bid_quote(upto, 0.95, hours * HOUR);
+        let survived = history
+            .survival(now, quote.bid)
+            .survives_for(now, hours * HOUR);
+        println!(
+            "p=0.95, {hours:>2}h hold: bid {} ({}; post-facto: {})",
+            quote.bid,
+            match quote.durability_secs {
+                Some(d) => format!("guaranteed {}h{:02}m", d / 3600, (d % 3600) / 60),
+                None => "no guarantee available".into(),
+            },
+            if survived { "survived" } else { "terminated" },
+        );
+    }
+
+    // The service-style bid-duration graph.
+    if let Some(graph) = BidDurationGraph::compute(&predictor, upto, 0.95) {
+        println!("\nbid-duration graph (p = 0.95), first/mid/last points:");
+        let pts = graph.points();
+        for &i in &[0, pts.len() / 2, pts.len() - 1] {
+            let p = pts[i];
+            println!(
+                "  bid {} -> {}h{:02}m",
+                p.bid,
+                p.durability_secs / 3600,
+                (p.durability_secs % 3600) / 60
+            );
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! The mechanistic market and the statistical trace generator are
+//! interchangeable substrates for DrAFTS: QBETS bounds computed on the
+//! agent-driven clearing prices behave like those on generated traces.
+
+use drafts::forecast::{BoundEstimator, Qbets, QbetsConfig};
+use drafts::market::agents::{AgentConfig, AgentMarket};
+use drafts::market::market::Market;
+use drafts::market::Price;
+use drafts::rng::{SeedableFrom, Xoshiro256pp};
+
+#[test]
+fn clearing_price_is_lowest_accepted_bid_under_scarcity() {
+    let mut m = Market::new(Price::from_ticks(1), 5);
+    m.submit(Price::from_dollars(0.50), 2);
+    m.submit(Price::from_dollars(0.30), 2);
+    m.submit(Price::from_dollars(0.20), 2); // partially filled
+    m.submit(Price::from_dollars(0.10), 2); // outbid
+    let c = m.clear();
+    assert_eq!(c.price, Price::from_dollars(0.20));
+    assert_eq!(c.allocated(), 5);
+    assert_eq!(c.outbid.len(), 1);
+}
+
+#[test]
+fn qbets_bound_covers_emergent_prices_forward() {
+    let od = Price::from_dollars(0.105);
+    let mut market = AgentMarket::new(od, AgentConfig::default(), Xoshiro256pp::seed_from_u64(3));
+    let series = market.run(0, 4000);
+
+    // Train on the first 3000 clearings, verify exceedance rate on the rest.
+    let mut q = Qbets::new(QbetsConfig {
+        changepoint: None,
+        ..QbetsConfig::default()
+    });
+    for &v in &series.values()[..3000] {
+        q.observe(v);
+    }
+    let bound = q.upper_bound(0.95).expect("long history");
+    let exceed = series.values()[3000..]
+        .iter()
+        .filter(|&&v| v > bound)
+        .count() as f64
+        / 1000.0;
+    assert!(
+        exceed <= 0.10,
+        "95% bound exceeded {exceed} of the time on held-out clearings"
+    );
+}

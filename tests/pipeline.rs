@@ -1,0 +1,86 @@
+//! End-to-end pipeline: trace generation -> DrAFTS prediction -> post-facto
+//! verification, plus whole-pipeline determinism.
+
+use drafts::backtesting::engine::{self, BacktestConfig, Policy};
+use drafts::core::predictor::{DraftsConfig, DraftsPredictor};
+use drafts::market::{tracegen, Az, Catalog, Combo, DAY, HOUR};
+
+#[test]
+fn predict_and_verify_on_one_market() {
+    let catalog = Catalog::standard();
+    let combo = Combo::new(
+        Az::parse("us-west-2b").unwrap(),
+        catalog.type_id("m3.large").unwrap(),
+    );
+    let history = tracegen::generate(combo, catalog, &tracegen::TraceConfig::days(40, 3));
+    let predictor = DraftsPredictor::new(&history, DraftsConfig::default());
+
+    let mut verified = 0;
+    let mut total = 0;
+    for day in 20..36 {
+        let now = day * DAY;
+        let upto = history.series().index_at(now).unwrap();
+        let quote = predictor.bid_quote(upto, 0.95, 2 * HOUR);
+        total += 1;
+        if history.survival(now, quote.bid).survives_for(now, 2 * HOUR) {
+            verified += 1;
+        }
+    }
+    assert_eq!(total, 16);
+    assert!(
+        verified >= 15,
+        "2-hour holds at p = 0.95 should essentially always verify, got {verified}/16"
+    );
+}
+
+#[test]
+fn full_backtest_is_deterministic_end_to_end() {
+    let cfg = BacktestConfig {
+        days: 40,
+        warmup_days: 16,
+        requests_per_combo: 25,
+        combo_limit: Some(5),
+        probability: 0.95,
+        ..BacktestConfig::default()
+    };
+    let a = engine::run(&cfg);
+    let b = engine::run(&cfg);
+    assert_eq!(a.combos.len(), b.combos.len());
+    for (x, y) in a.combos.iter().zip(&b.combos) {
+        assert_eq!(x.combo, y.combo);
+        assert_eq!(x.outcomes, y.outcomes);
+        assert_eq!(x.savings, y.savings);
+        assert_eq!(x.tightness_sum.to_bits(), y.tightness_sum.to_bits());
+    }
+}
+
+#[test]
+fn drafts_dominates_every_baseline_in_aggregate() {
+    let cfg = BacktestConfig {
+        days: 45,
+        warmup_days: 18,
+        requests_per_combo: 40,
+        combo_limit: Some(12),
+        probability: 0.95,
+        ..BacktestConfig::default()
+    };
+    let result = engine::run(&cfg);
+    let mean = |p: Policy| {
+        result
+            .combos
+            .iter()
+            .map(|c| c.outcome(p).fraction())
+            .sum::<f64>()
+            / result.combos.len() as f64
+    };
+    let drafts = mean(Policy::Drafts);
+    assert!(drafts >= 0.93, "aggregate DrAFTS fraction {drafts}");
+    for p in [Policy::OnDemand, Policy::Ar1, Policy::EmpiricalCdf] {
+        assert!(
+            drafts >= mean(p),
+            "{:?} beats DrAFTS in aggregate ({} vs {drafts})",
+            p,
+            mean(p)
+        );
+    }
+}
