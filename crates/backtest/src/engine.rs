@@ -2,13 +2,15 @@
 //!
 //! For each combo: generate its price history, generate its request
 //! population, then run one chronological sweep evaluating every policy at
-//! every request. Combos are independent, so they run under rayon with
-//! per-combo random streams (no cross-combo coupling).
+//! every request. Combos are independent, so they fan out over the
+//! work-stealing pool in `parallel` with per-combo random streams (no
+//! cross-combo coupling); results are index-ordered, so output is
+//! bit-identical at any thread count.
 
 use crate::request::{self, Request, RequestConfig};
 use crate::sweep::{ComboSweep, SweepConfig};
 use drafts_core::optimizer::{self, SavingsAccumulator};
-use rayon::prelude::*;
+use parallel::Pool;
 use simrng::StreamFactory;
 use spotmarket::archetype::{self, Archetype};
 use spotmarket::tracegen::{self, TraceConfig};
@@ -70,6 +72,10 @@ pub struct BacktestConfig {
     /// Optional cap on the number of combos (for quick runs/tests);
     /// `None` = all 452.
     pub combo_limit: Option<usize>,
+    /// Worker threads for the combo fan-out; `None` defers to the
+    /// `DRAFTS_THREADS` environment variable, then to the detected
+    /// parallelism. `Some(1)` forces a serial run on the calling thread.
+    pub threads: Option<usize>,
 }
 
 impl Default for BacktestConfig {
@@ -83,6 +89,7 @@ impl Default for BacktestConfig {
             probability: 0.99,
             sweep: SweepConfig::default(),
             combo_limit: None,
+            threads: None,
         }
     }
 }
@@ -191,10 +198,8 @@ pub fn run(cfg: &BacktestConfig) -> BacktestResult {
     if let Some(limit) = cfg.combo_limit {
         combos.truncate(limit);
     }
-    let results: Vec<ComboResult> = combos
-        .par_iter()
-        .map(|&combo| run_combo(cfg, catalog, combo))
-        .collect();
+    let results: Vec<ComboResult> =
+        Pool::with_override(cfg.threads).par_map(&combos, |&combo| run_combo(cfg, catalog, combo));
     BacktestResult {
         probability: cfg.probability,
         combos: results,
@@ -348,6 +353,29 @@ mod tests {
             assert_eq!(x.combo, y.combo);
             assert_eq!(x.outcomes, y.outcomes);
             assert_eq!(x.savings, y.savings);
+        }
+    }
+
+    #[test]
+    fn identical_results_at_any_thread_count() {
+        let at = |threads: usize| {
+            run(&BacktestConfig {
+                threads: Some(threads),
+                ..small_cfg()
+            })
+        };
+        let serial = at(1);
+        for threads in [2, 8] {
+            let parallel = at(threads);
+            assert_eq!(serial.combos.len(), parallel.combos.len());
+            for (x, y) in serial.combos.iter().zip(&parallel.combos) {
+                assert_eq!(x.combo, y.combo, "combo order must not depend on threads");
+                assert_eq!(x.outcomes, y.outcomes);
+                assert_eq!(x.savings, y.savings);
+                assert_eq!(x.tightness_sum.to_bits(), y.tightness_sum.to_bits());
+                assert_eq!(x.tightness_count, y.tightness_count);
+                assert_eq!(x.archetype, y.archetype);
+            }
         }
     }
 

@@ -13,7 +13,7 @@
 //! * [`request`] — the random request population,
 //! * [`sweep`] — a single-pass incremental DrAFTS evaluator (O(n log n)
 //!   per combo instead of re-running batch QBETS at every query point),
-//! * [`engine`] — rayon-parallel orchestration across the 452 combos,
+//! * [`engine`] — work-stealing parallel orchestration across the 452 combos,
 //! * [`correctness`] — success-fraction accounting and bucketing,
 //! * [`cost`] — the cost-optimization and tightness accounting,
 //! * [`report`] — paper-style table rendering and CSV export.

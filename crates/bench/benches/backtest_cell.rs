@@ -2,11 +2,10 @@
 //! population, the full sweep and all four policies.
 
 use backtest::engine::{self, BacktestConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::timing::{black_box, Harness};
 use spotmarket::{Az, Catalog, Combo};
-use std::hint::black_box;
 
-fn bench_backtest_cell(c: &mut Criterion) {
+fn main() {
     let cfg = BacktestConfig {
         days: 45,
         warmup_days: 18,
@@ -19,13 +18,8 @@ fn bench_backtest_cell(c: &mut Criterion) {
         Az::parse("us-west-2b").unwrap(),
         cat.type_id("c4.xlarge").unwrap(),
     );
-    let mut g = c.benchmark_group("backtest");
-    g.sample_size(10);
-    g.bench_function("table1_cell_45d_60req", |b| {
-        b.iter(|| black_box(engine::run_combo(&cfg, cat, black_box(combo))).tightness())
+    let mut h = Harness::new("backtest");
+    h.bench("table1_cell_45d_60req", || {
+        black_box(engine::run_combo(&cfg, cat, black_box(combo))).tightness()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_backtest_cell);
-criterion_main!(benches);

@@ -1,23 +1,18 @@
 //! Binomial kernel costs: log-space CDF at backtest scales and the full
 //! bound inversion (exponential-search variant).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use bench::timing::{black_box, Harness};
 use tsforecast::{binomial, quantile_bound};
 
-fn bench_binomial(c: &mut Criterion) {
-    let mut g = c.benchmark_group("binomial");
-    g.bench_function("cdf_left_tail_n26000", |b| {
-        b.iter(|| black_box(binomial::cdf(black_box(600), 26_000, 0.025)))
+fn main() {
+    let mut h = Harness::new("binomial");
+    h.bench("cdf_left_tail_n26000", || {
+        black_box(binomial::cdf(black_box(600), 26_000, 0.025))
     });
-    g.bench_function("upper_bound_index_n26000_q0995", |b| {
-        b.iter(|| black_box(quantile_bound::upper_bound_index(26_000, 0.995, 0.99)))
+    h.bench("upper_bound_index_n26000_q0995", || {
+        black_box(quantile_bound::upper_bound_index(26_000, 0.995, 0.99))
     });
-    g.bench_function("lower_bound_index_n8640_q0005", |b| {
-        b.iter(|| black_box(quantile_bound::lower_bound_index(8_640, 0.005, 0.99)))
+    h.bench("lower_bound_index_n8640_q0005", || {
+        black_box(quantile_bound::lower_bound_index(8_640, 0.005, 0.99))
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_binomial);
-criterion_main!(benches);

@@ -1,58 +1,49 @@
 //! Duration-series derivation ablation: the segment-tree
 //! `first_at_or_after_geq` path versus a naive linear scan.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::timing::{black_box, Harness};
 use drafts_core::duration::{duration_series, Censoring};
 use spotmarket::Price;
-use std::hint::black_box;
 
-fn bench_duration(c: &mut Criterion) {
+fn main() {
     let history = bench::bench_history();
     let upto = history.len() - 1;
     let bid = bench::bench_od().scale(0.5);
 
-    let mut g = c.benchmark_group("duration");
-    g.bench_function("segment_tree_series", |b| {
-        b.iter(|| {
-            black_box(duration_series(
-                &history,
-                black_box(upto),
-                bid,
-                3,
-                Censoring::Capped(86_400),
-            ))
-            .len()
-        })
+    let mut h = Harness::new("duration");
+    h.bench("segment_tree_series", || {
+        black_box(duration_series(
+            &history,
+            black_box(upto),
+            bid,
+            3,
+            Censoring::Capped(86_400),
+        ))
+        .len()
     });
-    g.bench_function("linear_scan_series", |b| {
-        // Naive O(n^2) baseline for the same computation.
-        let times = history.series().times();
-        let values = history.series().values();
-        b.iter(|| {
-            let mut out = Vec::new();
-            let cap = 86_400u64;
-            let horizon = times[upto];
-            let mut i = 0usize;
-            while i <= upto {
-                let mut crossing = None;
-                for j in (i + 1)..=upto {
-                    if Price::from_ticks(values[j]) >= bid {
-                        crossing = Some(times[j] - times[i]);
-                        break;
-                    }
+    // Naive O(n^2) baseline for the same computation.
+    let times = history.series().times();
+    let values = history.series().values();
+    h.bench("linear_scan_series", || {
+        let mut out = Vec::new();
+        let cap = 86_400u64;
+        let horizon = times[upto];
+        let mut i = 0usize;
+        while i <= upto {
+            let mut crossing = None;
+            for j in (i + 1)..=upto {
+                if Price::from_ticks(values[j]) >= bid {
+                    crossing = Some(times[j] - times[i]);
+                    break;
                 }
-                match crossing {
-                    Some(d) => out.push(d.min(cap)),
-                    None if horizon - times[i] >= cap => out.push(cap),
-                    None => {}
-                }
-                i += 3;
             }
-            black_box(out.len())
-        })
+            match crossing {
+                Some(d) => out.push(d.min(cap)),
+                None if horizon - times[i] >= cap => out.push(cap),
+                None => {}
+            }
+            i += 3;
+        }
+        black_box(out.len())
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_duration);
-criterion_main!(benches);

@@ -1,47 +1,38 @@
 //! Clearing-engine throughput: submissions + clear cycles per second, at
 //! the book sizes the agent-driven market sustains.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use bench::timing::{black_box, Harness};
 use simrng::{SeedableFrom, Xoshiro256pp};
 use spotmarket::agents::{AgentConfig, AgentMarket};
 use spotmarket::market::Market;
 use spotmarket::Price;
-use std::hint::black_box;
 
-fn bench_market(c: &mut Criterion) {
-    let mut g = c.benchmark_group("market");
-    g.bench_function("clear_book_200", |b| {
-        b.iter_batched(
-            || {
-                let mut m = Market::new(Price::from_ticks(10), 150);
-                for i in 0..200u64 {
-                    m.submit(Price::from_ticks(100 + (i * 37) % 900), 1 + i % 3);
-                }
-                m
-            },
-            |mut m| black_box(m.clear().price),
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("agent_market_step", |b| {
-        b.iter_batched(
-            || {
-                let mut m = AgentMarket::new(
-                    Price::from_dollars(0.105),
-                    AgentConfig::default(),
-                    Xoshiro256pp::seed_from_u64(5),
-                );
-                for _ in 0..500 {
-                    m.step();
-                }
-                m
-            },
-            |mut m| black_box(m.step()),
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+fn main() {
+    let mut h = Harness::new("market");
+    h.bench_batched(
+        "clear_book_200",
+        || {
+            let mut m = Market::new(Price::from_ticks(10), 150);
+            for i in 0..200u64 {
+                m.submit(Price::from_ticks(100 + (i * 37) % 900), 1 + i % 3);
+            }
+            m
+        },
+        |mut m| black_box(m.clear().price),
+    );
+    h.bench_batched(
+        "agent_market_step",
+        || {
+            let mut m = AgentMarket::new(
+                Price::from_dollars(0.105),
+                AgentConfig::default(),
+                Xoshiro256pp::seed_from_u64(5),
+            );
+            for _ in 0..500 {
+                m.step();
+            }
+            m
+        },
+        |mut m| black_box(m.step()),
+    );
 }
-
-criterion_group!(benches, bench_market);
-criterion_main!(benches);

@@ -1,49 +1,32 @@
 //! Order-statistic multiset ablation: the treap must beat the sorted-Vec
 //! baseline on inserts at backtest scales while matching it on queries.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use bench::timing::{black_box, Harness};
 use simrng::{Rng, SeedableFrom, Xoshiro256pp};
-use std::hint::black_box;
 use tsforecast::orderstat::{OrderStat, SortedVecMultiset, TreapMultiset};
 
-fn bench_orderstat(c: &mut Criterion) {
+fn main() {
     let mut rng = Xoshiro256pp::seed_from_u64(7);
     let values: Vec<u64> = (0..8192).map(|_| rng.next_below(1_000_000)).collect();
 
-    let mut g = c.benchmark_group("orderstat");
-    g.bench_function("treap_insert_8192", |b| {
-        b.iter_batched(
-            TreapMultiset::new,
-            |mut t| {
-                for &v in &values {
-                    t.insert(v);
-                }
-                black_box(t.len())
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("sorted_vec_insert_8192", |b| {
-        b.iter_batched(
-            SortedVecMultiset::new,
-            |mut t| {
-                for &v in &values {
-                    t.insert(v);
-                }
-                black_box(t.len())
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("treap_kth_query", |b| {
-        let mut t = TreapMultiset::new();
+    let mut h = Harness::new("orderstat");
+    h.bench_batched("treap_insert_8192", TreapMultiset::new, |mut t| {
         for &v in &values {
             t.insert(v);
         }
-        b.iter(|| black_box(t.kth_smallest(black_box(4096))))
+        black_box(t.len())
     });
-    g.finish();
+    h.bench_batched("sorted_vec_insert_8192", SortedVecMultiset::new, |mut t| {
+        for &v in &values {
+            t.insert(v);
+        }
+        black_box(t.len())
+    });
+    let mut t = TreapMultiset::new();
+    for &v in &values {
+        t.insert(v);
+    }
+    h.bench("treap_kth_query", || {
+        black_box(t.kth_smallest(black_box(4096)))
+    });
 }
-
-criterion_group!(benches, bench_orderstat);
-criterion_main!(benches);

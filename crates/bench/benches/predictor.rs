@@ -3,32 +3,26 @@
 //! sweep's warm quote (the "few milliseconds" incremental path).
 
 use backtest::sweep::{ComboSweep, SweepConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::timing::{black_box, Harness};
 use drafts_core::predictor::{DraftsConfig, DraftsPredictor};
-use std::hint::black_box;
 
-fn bench_predictor(c: &mut Criterion) {
+fn main() {
     let history = bench::bench_history();
     let od = bench::bench_od();
     let upto = history.len() - 1;
 
-    let mut g = c.benchmark_group("predictor");
-    g.sample_size(20);
-    g.bench_function("batch_bid_for_duration", |b| {
-        let cfg = DraftsConfig {
-            duration_stride: 6,
-            ..DraftsConfig::default()
-        };
-        let pred = DraftsPredictor::new(&history, cfg);
-        b.iter(|| black_box(pred.bid_for_duration(black_box(upto), 0.95, 3600)))
+    let mut h = Harness::new("predictor");
+    let cfg = DraftsConfig {
+        duration_stride: 6,
+        ..DraftsConfig::default()
+    };
+    let pred = DraftsPredictor::new(&history, cfg);
+    h.bench("batch_bid_for_duration", || {
+        black_box(pred.bid_for_duration(black_box(upto), 0.95, 3600))
     });
-    g.bench_function("sweep_warm_quote", |b| {
-        let mut sweep = ComboSweep::new(&history, od, SweepConfig::default());
-        sweep.advance_to(29 * spotmarket::DAY);
-        b.iter(|| black_box(sweep.quote(black_box(0.95), 3600)))
+    let mut sweep = ComboSweep::new(&history, od, SweepConfig::default());
+    sweep.advance_to(29 * spotmarket::DAY);
+    h.bench("sweep_warm_quote", || {
+        black_box(sweep.quote(black_box(0.95), 3600))
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_predictor);
-criterion_main!(benches);

@@ -4,39 +4,30 @@
 //! path is a full rebuild over the history prefix and the incremental path
 //! is one observe() on warm state.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use std::hint::black_box;
+use bench::timing::{black_box, Harness};
 use tsforecast::{BoundEstimator, Qbets, QbetsConfig};
 
-fn bench_qbets(c: &mut Criterion) {
+fn main() {
     let history = bench::bench_history();
     let values: Vec<u64> = history.series().values().to_vec();
 
-    let mut g = c.benchmark_group("qbets");
-    g.bench_function("batch_rebuild_8640", |b| {
-        b.iter(|| {
-            let q = Qbets::from_history(QbetsConfig::default(), black_box(&values));
-            black_box(q.upper_bound(0.975))
-        })
+    let mut h = Harness::new("qbets");
+    h.bench("batch_rebuild_8640", || {
+        let q = Qbets::from_history(QbetsConfig::default(), black_box(&values));
+        black_box(q.upper_bound(0.975))
     });
 
-    g.bench_function("incremental_observe", |b| {
-        b.iter_batched(
-            || Qbets::from_history(QbetsConfig::default(), &values),
-            |mut q| {
-                q.observe(black_box(12_345));
-                black_box(q.segment_len())
-            },
-            BatchSize::SmallInput,
-        )
-    });
+    h.bench_batched(
+        "incremental_observe",
+        || Qbets::from_history(QbetsConfig::default(), &values),
+        |mut q| {
+            q.observe(black_box(12_345));
+            black_box(q.segment_len())
+        },
+    );
 
-    g.bench_function("warm_upper_bound_query", |b| {
-        let q = Qbets::from_history(QbetsConfig::default(), &values);
-        b.iter(|| black_box(q.upper_bound(black_box(0.975))))
+    let q = Qbets::from_history(QbetsConfig::default(), &values);
+    h.bench("warm_upper_bound_query", || {
+        black_box(q.upper_bound(black_box(0.975)))
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_qbets);
-criterion_main!(benches);

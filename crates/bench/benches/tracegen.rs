@@ -1,27 +1,22 @@
 //! Price-trace generation throughput (one 30-day combo history).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::timing::{black_box, Harness};
 use spotmarket::tracegen::{self, TraceConfig};
 use spotmarket::{Az, Catalog, Combo};
-use std::hint::black_box;
 
-fn bench_tracegen(c: &mut Criterion) {
+fn main() {
     let cat = Catalog::standard();
     let combo = Combo::new(
         Az::parse("us-east-1c").unwrap(),
         cat.type_id("c4.large").unwrap(),
     );
-    c.bench_function("tracegen_30d_8640_steps", |b| {
-        b.iter(|| {
-            black_box(tracegen::generate(
-                black_box(combo),
-                cat,
-                &TraceConfig::days(30, 99),
-            ))
-            .len()
-        })
+    let mut h = Harness::new("tracegen");
+    h.bench("tracegen_30d_8640_steps", || {
+        black_box(tracegen::generate(
+            black_box(combo),
+            cat,
+            &TraceConfig::days(30, 99),
+        ))
+        .len()
     });
 }
-
-criterion_group!(benches, bench_tracegen);
-criterion_main!(benches);

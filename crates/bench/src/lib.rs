@@ -1,4 +1,4 @@
-//! Shared fixtures for the Criterion benches.
+//! Shared fixtures and the in-repo timing harness for the benches.
 //!
 //! Eight bench targets cover the kernels behind every experiment and the
 //! ablations DESIGN.md calls out:
@@ -12,9 +12,17 @@
 //! * `predictor` — end-to-end DrAFTS prediction (batch) and quote (sweep),
 //! * `duration` — duration-series derivation: segment tree vs linear scan,
 //! * `backtest_cell` — one Table-1 combo cell end to end.
+//!
+//! The harness ([`timing`]) is std-only: auto-calibrated iteration counts,
+//! several timed samples, median/min/max in ns per iteration. It trades
+//! criterion's statistics for a hermetic build; the numbers are for
+//! relative comparisons (ablation A vs B, before vs after), not absolute
+//! claims.
 
 use spotmarket::tracegen::{self, TraceConfig};
 use spotmarket::{Az, Catalog, Combo, Price, PriceHistory};
+
+pub mod timing;
 
 /// A standard 30-day choppy history for kernel benches.
 pub fn bench_history() -> PriceHistory {

@@ -14,10 +14,9 @@
 
 use crate::graph::BidDurationGraph;
 use crate::predictor::{DraftsConfig, DraftsPredictor};
-use parking_lot::Mutex;
 use spotmarket::{Combo, PriceHistory};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -70,6 +69,15 @@ pub struct DraftsService {
     computes: Mutex<u64>,
 }
 
+/// Locks ignoring poisoning: cache entries are inserted whole (`Arc`
+/// swaps), so a panicking writer cannot leave a torn value behind.
+fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
 impl DraftsService {
     /// Creates a service.
     ///
@@ -94,7 +102,7 @@ impl DraftsService {
     pub fn register(&mut self, history: PriceHistory) {
         self.histories
             .insert(history.combo().key(), Arc::new(history));
-        self.cache.lock().clear();
+        lock_clean(&self.cache).clear();
     }
 
     /// The combos the service knows about.
@@ -104,7 +112,7 @@ impl DraftsService {
 
     /// Number of graph recomputations performed (cache instrumentation).
     pub fn compute_count(&self) -> u64 {
-        *self.computes.lock()
+        *lock_clean(&self.computes)
     }
 
     fn bucket(&self, now: u64) -> u64 {
@@ -120,7 +128,7 @@ impl DraftsService {
         let history = self.histories.get(&combo.key())?.clone();
         let bucket = self.bucket(now);
         let key = (combo.key(), bucket);
-        if let Some(hit) = self.cache.lock().get(&key) {
+        if let Some(hit) = lock_clean(&self.cache).get(&key) {
             return Some(hit.clone());
         }
         // Compute outside the lock: predictions can take a while and other
@@ -134,9 +142,9 @@ impl DraftsService {
                 graphs.push(g.with_timestamp(bucket_time));
             }
         }
-        *self.computes.lock() += 1;
+        *lock_clean(&self.computes) += 1;
         let entry = Arc::new(ComboGraphs { graphs });
-        self.cache.lock().insert(key, entry.clone());
+        lock_clean(&self.cache).insert(key, entry.clone());
         Some(entry)
     }
 }

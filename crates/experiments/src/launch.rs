@@ -137,16 +137,16 @@ pub fn run(cfg: &LaunchConfig) -> LaunchOutcome {
         .type_id(cfg.type_name)
         .expect("type exists in the catalog");
     let trace_cfg = TraceConfig::days(cfg.history_days, cfg.seed);
-    let histories: Vec<(Az, PriceHistory)> = catalog
-        .azs_offering(ty, cfg.region)
-        .into_iter()
-        .map(|az| {
-            (
-                az,
-                tracegen::generate(Combo::new(az, ty), catalog, &trace_cfg),
-            )
-        })
-        .collect();
+    // Per-AZ trace generation is seeded per combo and embarrassingly
+    // parallel; the launch loop below is sequential by design (each launch
+    // time depends on the previous outcome's interval draw).
+    let azs = catalog.azs_offering(ty, cfg.region);
+    let histories: Vec<(Az, PriceHistory)> = parallel::par_map(&azs, |&az| {
+        (
+            az,
+            tracegen::generate(Combo::new(az, ty), catalog, &trace_cfg),
+        )
+    });
     assert!(!histories.is_empty(), "type offered nowhere in the region");
 
     let drafts_cfg = DraftsConfig {

@@ -14,20 +14,20 @@ use spotmarket::Price;
 
 /// Runs the adoption sweep.
 pub fn run() -> Vec<ReflexivityOutcome> {
-    [0.0, 0.25, 0.5, 0.75, 1.0]
-        .into_iter()
-        .map(|adoption| {
-            let cfg = ReflexivityConfig {
-                adoption,
-                ..ReflexivityConfig::default()
-            };
-            reflexivity::run(
-                &cfg,
-                Price::from_dollars(0.105),
-                Xoshiro256pp::seed_from_u64(REPRO_SEED),
-            )
-        })
-        .collect()
+    // Each adoption level is an independent simulation with its own RNG
+    // seeded from the shared constant, so the fan-out changes nothing but
+    // wall-clock time.
+    parallel::par_map(&[0.0, 0.25, 0.5, 0.75, 1.0], |&adoption| {
+        let cfg = ReflexivityConfig {
+            adoption,
+            ..ReflexivityConfig::default()
+        };
+        reflexivity::run(
+            &cfg,
+            Price::from_dollars(0.105),
+            Xoshiro256pp::seed_from_u64(REPRO_SEED),
+        )
+    })
 }
 
 /// Renders the sweep.

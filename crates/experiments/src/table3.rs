@@ -20,17 +20,29 @@ pub struct Table3Output {
 /// market seed) and averages.
 pub fn run(scale: Scale) -> Table3Output {
     let experiments = scale.pick(5u64, 35);
+    // Flatten (policy, experiment) into one task list so the pool can
+    // balance all 3 x N replays, then fold per policy in experiment order
+    // — the same float-accumulation order as a serial loop, so averages
+    // are bit-identical at any thread count.
+    let tasks: Vec<(ProvisionerPolicy, u64)> = ProvisionerPolicy::ALL
+        .into_iter()
+        .flat_map(|policy| (0..experiments).map(move |i| (policy, i)))
+        .collect();
+    let metrics = parallel::par_map(&tasks, |&(policy, i)| {
+        let mut cfg = replay_config(scale, policy, i);
+        // Each experiment replays at a different market time and with a
+        // different workload draw, like the paper's repeated simulator
+        // runs.
+        cfg.seed = cfg.seed.wrapping_add(i * 7919);
+        Replay::new(cfg).run()
+    });
     let rows = ProvisionerPolicy::ALL
         .into_iter()
-        .map(|policy| {
+        .enumerate()
+        .map(|(pi, policy)| {
             let mut acc = ReplayMetrics::default();
-            for i in 0..experiments {
-                let mut cfg = replay_config(scale, policy, i);
-                // Each experiment replays at a different market time and
-                // with a different workload draw, like the paper's
-                // repeated simulator runs.
-                cfg.seed = cfg.seed.wrapping_add(i * 7919);
-                acc.add(&Replay::new(cfg).run());
+            for m in &metrics[pi * experiments as usize..(pi + 1) * experiments as usize] {
+                acc.add(m);
             }
             (policy, acc.averaged(experiments))
         })

@@ -1,0 +1,493 @@
+//! Std-only scoped work-stealing thread pool.
+//!
+//! The backtest engine fans out over 452 independent (AZ, instance type)
+//! combos whose per-combo cost is wildly skewed — a busy us-east AZ with
+//! many change points costs orders of magnitude more than a placid
+//! us-west one. A static partition therefore leaves workers idle;
+//! work stealing keeps them busy without any external dependency.
+//!
+//! Design:
+//!
+//! - [`Pool::par_map`] maps a function over a slice and returns results
+//!   in **input order**, regardless of thread count or steal schedule.
+//!   Callers get bit-identical output at 1, 2, or N threads.
+//!   [`Pool::par_map_mut`] is the `&mut` variant (used by the sweep hot
+//!   path, whose per-level states are independent between price steps);
+//!   [`Pool::par_map_chunked`] amortises queue traffic for tiny items.
+//! - Each worker owns a deque of task indices. Workers pop their own
+//!   deque LIFO (back) for cache locality and steal FIFO (front) from
+//!   victims, so steals grab the oldest — and, for chunked work, the
+//!   largest remaining — units.
+//! - No task spawns further tasks, so "every deque empty" is a
+//!   termination proof; workers exit after a full sweep of victims
+//!   finds nothing.
+//! - A panicking task sets a shared abort flag (so other workers stop
+//!   picking up new tasks) and the panic payload is re-raised on the
+//!   calling thread via [`std::panic::resume_unwind`]. No hang, no
+//!   silently dropped panic.
+//! - Thread count resolves, in order: explicit builder/`Pool::new`
+//!   argument, the `DRAFTS_THREADS` environment variable, then
+//!   [`std::thread::available_parallelism`].
+//! - `threads == 1` (or an empty/singleton input) runs serially on the
+//!   calling thread: no spawns, no locks, identical results.
+//!
+//! The pool is stateless — it holds only the resolved thread count and
+//! spins up scoped workers per call. For the workloads in this repo
+//! (hundreds of tasks, each microseconds to seconds) per-call thread
+//! spawn cost is noise; a persistent pool would buy nothing but shutdown
+//! complexity.
+
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable consulted by [`Pool::from_env`] for the worker
+/// count. Invalid or zero values fall back to the detected parallelism.
+pub const THREADS_ENV: &str = "DRAFTS_THREADS";
+
+/// A fixed-width scoped work-stealing pool.
+///
+/// Cheap to construct (it stores only the thread count); every
+/// [`par_map`](Pool::par_map) call spawns scoped workers and joins them
+/// before returning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool with exactly `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool sized from `DRAFTS_THREADS`, falling back to
+    /// [`std::thread::available_parallelism`] (and then to 1).
+    pub fn from_env() -> Self {
+        Pool::new(threads_from_env())
+    }
+
+    /// A pool sized from an optional override: `Some(n)` behaves like
+    /// [`Pool::new`], `None` like [`Pool::from_env`].
+    pub fn with_override(threads: Option<usize>) -> Self {
+        match threads {
+            Some(n) => Pool::new(n),
+            None => Pool::from_env(),
+        }
+    }
+
+    /// The number of worker threads this pool will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items`, returning results in input order.
+    ///
+    /// Panics (on the calling thread) if any invocation of `f` panics;
+    /// remaining queued tasks are abandoned, in-flight ones finish.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        if self.threads == 1 || items.len() <= 1 {
+            return items.iter().map(f).collect();
+        }
+        self.run_indexed(items.len(), &|idx| f(&items[idx]))
+    }
+
+    /// Like [`par_map`](Pool::par_map) over mutable references: each
+    /// element is handed to `f` exactly once as `&mut T`, results return
+    /// in input order.
+    ///
+    /// Mutation is safe because the task queues partition `0..len` —
+    /// every index is popped by exactly one worker — so no two workers
+    /// ever alias an element.
+    pub fn par_map_mut<T, R, F>(&self, items: &mut [T], f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(&mut T) -> R + Sync,
+    {
+        if self.threads == 1 || items.len() <= 1 {
+            return items.iter_mut().map(f).collect();
+        }
+        let base = SharedMutPtr(items.as_mut_ptr());
+        let base = &base; // capture the Sync wrapper, not the raw field
+        self.run_indexed(items.len(), &move |idx| {
+            // SAFETY: `idx < items.len()` (queue contents are 0..n), each
+            // index is dispensed exactly once, and `items` is exclusively
+            // borrowed for the whole call — so this &mut is unique.
+            f(unsafe { &mut *base.get(idx) })
+        })
+    }
+
+    /// Work-stealing execution of `task(0..n)`, results in index order.
+    fn run_indexed<R, F>(&self, n: usize, task: &F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let workers = self.threads.min(n);
+
+        // Round-robin the indices so every worker starts with a spread of
+        // the input rather than one contiguous block: with skewed costs a
+        // contiguous split concentrates the expensive prefix on worker 0.
+        let mut deques: Vec<VecDeque<usize>> = (0..workers)
+            .map(|w| ((w..n).step_by(workers)).collect())
+            .collect();
+        // Stealing only takes the queue lock for a single pop, so plain
+        // mutex-guarded deques beat a lock-free structure at this scale.
+        let queues: Vec<Mutex<VecDeque<usize>>> =
+            deques.drain(..).map(Mutex::new).collect();
+        let abort = AtomicBool::new(false);
+
+        let mut collected: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let queues = &queues;
+                    let abort = &abort;
+                    scope.spawn(move || worker_loop(w, queues, abort, task))
+                })
+                .collect();
+            let mut outs = Vec::with_capacity(workers);
+            let mut panic_payload = None;
+            for h in handles {
+                match h.join() {
+                    Ok(out) => outs.push(out),
+                    Err(payload) => panic_payload = Some(payload),
+                }
+            }
+            if let Some(payload) = panic_payload {
+                panic::resume_unwind(payload);
+            }
+            outs
+        });
+
+        // Reassemble in input order. Every index appears exactly once
+        // across the per-worker vectors (or we panicked above).
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for out in collected.drain(..) {
+            for (idx, r) in out {
+                debug_assert!(slots[idx].is_none(), "index {idx} produced twice");
+                slots[idx] = Some(r);
+            }
+        }
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| r.unwrap_or_else(|| panic!("index {i} never produced")))
+            .collect()
+    }
+
+    /// Maps `f` over `items` in chunks of `chunk_size`, returning the
+    /// flattened results in input order.
+    ///
+    /// Use this when per-item work is too small to pay for a queue
+    /// operation per item (e.g. the sweep hot path's per-level cells).
+    pub fn par_map_chunked<T, R, F>(&self, items: &[T], chunk_size: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let chunk_size = chunk_size.max(1);
+        if self.threads == 1 || items.len() <= chunk_size {
+            return items.iter().map(f).collect();
+        }
+        let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
+        let per_chunk: Vec<Vec<R>> =
+            self.par_map(&chunks, |chunk| chunk.iter().map(&f).collect());
+        let mut out = Vec::with_capacity(items.len());
+        for v in per_chunk {
+            out.extend(v);
+        }
+        out
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::from_env()
+    }
+}
+
+/// Builder mirroring the pool's resolution rules, for call sites that
+/// thread configuration through several layers.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PoolBuilder {
+    threads: Option<usize>,
+}
+
+impl PoolBuilder {
+    /// An empty builder (resolves like [`Pool::from_env`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fixes the worker count; overrides `DRAFTS_THREADS`.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Resolves the configuration into a [`Pool`].
+    pub fn build(self) -> Pool {
+        Pool::with_override(self.threads)
+    }
+}
+
+fn threads_from_env() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Convenience: `Pool::from_env().par_map(items, f)`.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    Pool::from_env().par_map(items, f)
+}
+
+/// Raw base pointer into the exclusively borrowed slice handed to
+/// [`Pool::par_map_mut`]. `Sync` is sound because the queue protocol
+/// dispenses every index exactly once, so workers touch disjoint
+/// elements.
+struct SharedMutPtr<T>(*mut T);
+
+impl<T> SharedMutPtr<T> {
+    /// Pointer to element `idx`; caller guarantees `idx` is in bounds and
+    /// dispensed to exactly one worker.
+    fn get(&self, idx: usize) -> *mut T {
+        // Taking `&self` (not the field) keeps closures capturing the
+        // `Sync` wrapper rather than the raw pointer.
+        unsafe { self.0.add(idx) }
+    }
+}
+
+unsafe impl<T: Send> Sync for SharedMutPtr<T> {}
+
+fn worker_loop<R, F>(
+    me: usize,
+    queues: &[Mutex<VecDeque<usize>>],
+    abort: &AtomicBool,
+    task: &F,
+) -> Vec<(usize, R)>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let mut out = Vec::new();
+    loop {
+        if abort.load(Ordering::Acquire) {
+            return out;
+        }
+        let idx = match next_task(me, queues) {
+            Some(idx) => idx,
+            None => return out, // every deque empty: no task can reappear
+        };
+        match panic::catch_unwind(AssertUnwindSafe(|| task(idx))) {
+            Ok(r) => out.push((idx, r)),
+            Err(payload) => {
+                abort.store(true, Ordering::Release);
+                panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// Pops the worker's own deque LIFO, else steals FIFO from the first
+/// non-empty victim. `None` means every deque was observed empty; since
+/// tasks never respawn, that is a stable termination condition.
+fn next_task(me: usize, queues: &[Mutex<VecDeque<usize>>]) -> Option<usize> {
+    if let Some(idx) = lock_clean(&queues[me]).pop_back() {
+        return Some(idx);
+    }
+    let w = queues.len();
+    for off in 1..w {
+        let victim = (me + off) % w;
+        if let Some(idx) = lock_clean(&queues[victim]).pop_front() {
+            return Some(idx);
+        }
+    }
+    None
+}
+
+/// Locks ignoring poisoning: a deque of `usize` cannot be left in a
+/// torn state, and panic propagation is handled via the abort flag.
+fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn maps_in_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let pool = Pool::new(7);
+        let out = pool.par_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn identical_results_across_thread_counts() {
+        let items: Vec<u64> = (0..257).collect();
+        let f = |&x: &u64| x.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
+        let serial = Pool::new(1).par_map(&items, f);
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(Pool::new(threads).par_map(&items, f), serial);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let pool = Pool::new(4);
+        let empty: Vec<u32> = vec![];
+        assert_eq!(pool.par_map(&empty, |&x| x), Vec::<u32>::new());
+        assert_eq!(pool.par_map(&[41], |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let items: Vec<usize> = (0..500).collect();
+        let counts: Vec<AtomicUsize> = (0..500).map(|_| AtomicUsize::new(0)).collect();
+        Pool::new(8).par_map(&items, |&i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn skewed_cost_distributes_across_workers() {
+        // One task is 10x the rest. Sleeps (not spins) so a worker holding
+        // a task cannot also drain the queues: stealing must spread the
+        // rest across other threads, and the wall clock must beat serial.
+        let mut items = vec![100u64]; // ms
+        items.extend(std::iter::repeat_n(10u64, 7)); // 7 x 10 ms
+        let started = std::time::Instant::now();
+        let tid_of_task = Pool::new(4).par_map(&items, |&ms| {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            format!("{:?}", std::thread::current().id())
+        });
+        let elapsed = started.elapsed();
+        let distinct: std::collections::HashSet<&String> = tid_of_task.iter().collect();
+        assert!(
+            distinct.len() > 1,
+            "all 8 skewed tasks ran on one thread: no stealing happened"
+        );
+        // Serial is 170 ms; four workers with stealing finish in ~100 ms
+        // (the heavy task dominates). Allow generous scheduler slack.
+        assert!(
+            elapsed < std::time::Duration::from_millis(160),
+            "no parallel speedup: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn panic_propagates_without_hanging() {
+        let items: Vec<u32> = (0..64).collect();
+        let pool = Pool::new(4);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.par_map(&items, |&x| {
+                if x == 13 {
+                    panic!("task 13 exploded");
+                }
+                x
+            })
+        }));
+        let payload = result.expect_err("panic must propagate to the caller");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("task 13 exploded"), "unexpected payload: {msg}");
+    }
+
+    #[test]
+    fn serial_path_propagates_panics_too() {
+        let pool = Pool::new(1);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.par_map(&[1u32], |_| -> u32 { panic!("serial boom") })
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn chunked_matches_unchunked() {
+        let items: Vec<i64> = (-500..500).collect();
+        let f = |&x: &i64| x * x - 3 * x + 7;
+        let plain: Vec<i64> = items.iter().map(f).collect();
+        let pool = Pool::new(5);
+        for chunk in [1, 3, 64, 1000, 5000] {
+            assert_eq!(pool.par_map_chunked(&items, chunk, f), plain);
+        }
+    }
+
+    #[test]
+    fn par_map_mut_mutates_every_element_once() {
+        let mut items: Vec<u64> = (0..777).collect();
+        let old = Pool::new(6).par_map_mut(&mut items, |x| {
+            let prev = *x;
+            *x = prev * 10 + 1;
+            prev
+        });
+        assert_eq!(old, (0..777).collect::<Vec<u64>>());
+        assert!(items.iter().enumerate().all(|(i, &x)| x == i as u64 * 10 + 1));
+    }
+
+    #[test]
+    fn par_map_mut_matches_serial() {
+        let seed: Vec<u32> = (0..333).map(|i| i * 7 + 3).collect();
+        let f = |x: &mut u32| {
+            *x = x.wrapping_mul(2654435761).rotate_left(5);
+            *x / 2
+        };
+        let mut a = seed.clone();
+        let ra = Pool::new(1).par_map_mut(&mut a, f);
+        let mut b = seed.clone();
+        let rb = Pool::new(8).par_map_mut(&mut b, f);
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn builder_and_clamping() {
+        assert_eq!(Pool::new(0).threads(), 1);
+        assert_eq!(PoolBuilder::new().threads(3).build().threads(), 3);
+        assert_eq!(Pool::with_override(Some(2)).threads(), 2);
+        assert!(Pool::with_override(None).threads() >= 1);
+    }
+
+    #[test]
+    fn borrows_environment_not_owned_items() {
+        // Regression guard: par_map must accept closures capturing
+        // references to caller state (the engine captures cfg/catalog).
+        let base = 10u64;
+        let items = [1u64, 2, 3];
+        let out = Pool::new(2).par_map(&items, |&x| x + base);
+        assert_eq!(out, vec![11, 12, 13]);
+    }
+}

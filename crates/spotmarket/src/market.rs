@@ -300,26 +300,32 @@ mod tests {
         assert_eq!(c.outbid.len(), 1);
     }
 
+    // Randomized property tests (formerly proptest-based; rewritten on
+    // simrng so the default build needs no registry crates). Enable with
+    // `--features proptest`.
+    #[cfg(feature = "proptest")]
     mod props {
         use super::*;
-        use proptest::prelude::*;
+        use simrng::{Rng, SeedableFrom, Xoshiro256pp};
 
-        proptest! {
-            /// Core clearing invariants over arbitrary books.
-            #[test]
-            fn clearing_invariants(
-                supply in 0u64..50,
-                bids in prop::collection::vec((1u64..1000, 1u64..8), 0..25),
-            ) {
+        /// Core clearing invariants over arbitrary books.
+        #[test]
+        fn clearing_invariants() {
+            for case in 0..256u64 {
+                let mut rng = Xoshiro256pp::seed_from_u64(0xC1EA5 ^ case);
+                let supply = rng.next_below(50);
+                let bids: Vec<(u64, u64)> = (0..rng.next_below(25))
+                    .map(|_| (rng.next_below(999) + 1, rng.next_below(7) + 1))
+                    .collect();
                 let mut m = Market::new(p(10), supply);
                 for &(b, q) in &bids {
                     m.submit(p(b), q);
                 }
                 let c = m.clear();
                 // Never over-allocate.
-                prop_assert!(c.allocated() <= supply);
+                assert!(c.allocated() <= supply, "case {case}");
                 // Price is at least the reserve.
-                prop_assert!(c.price >= p(10));
+                assert!(c.price >= p(10), "case {case}");
                 // Scarcity => full allocation (bids at/above reserve take
                 // every unit they can).
                 let eligible_demand: u64 = bids
@@ -331,18 +337,26 @@ mod tests {
                     // All supply is taken unless every bid fell below the
                     // final price (possible only via the reserve floor).
                     if c.price == p(10) {
-                        prop_assert_eq!(c.allocated(), supply.min(eligible_demand));
+                        assert_eq!(
+                            c.allocated(),
+                            supply.min(eligible_demand),
+                            "case {case}"
+                        );
                     }
                 } else {
-                    prop_assert_eq!(c.price, p(10), "plentiful supply clears at reserve");
+                    assert_eq!(
+                        c.price,
+                        p(10),
+                        "plentiful supply clears at reserve (case {case})"
+                    );
                 }
                 // Only allocated requests survive in the book, and each
                 // clearing partitions the book into allocated + outbid.
-                prop_assert_eq!(m.live_requests(), c.allocations.len());
-                prop_assert_eq!(
+                assert_eq!(m.live_requests(), c.allocations.len(), "case {case}");
+                assert_eq!(
                     c.allocations.len() + c.outbid.len(),
                     bids.len(),
-                    "every request is either allocated or outbid"
+                    "every request is either allocated or outbid (case {case})"
                 );
             }
         }

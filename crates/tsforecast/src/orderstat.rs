@@ -60,6 +60,9 @@ pub struct TreapMultiset {
     nodes: Vec<Node>,
     free: Vec<u32>,
     root: u32,
+    /// Construction seed, kept so [`OrderStat::clear`] can rewind the
+    /// priority stream and restore the exact initial state.
+    seed: u64,
     rng: SplitMix64,
 }
 
@@ -82,6 +85,7 @@ impl TreapMultiset {
             nodes: Vec::new(),
             free: Vec::new(),
             root: NIL,
+            seed,
             rng: SplitMix64::new(seed),
         }
     }
@@ -281,6 +285,9 @@ impl OrderStat for TreapMultiset {
         self.nodes.clear();
         self.free.clear();
         self.root = NIL;
+        // Rewind the priority stream too: a cleared multiset must be
+        // indistinguishable from a fresh one, tree shape included.
+        self.rng = SplitMix64::new(self.seed);
     }
 }
 
@@ -438,6 +445,42 @@ mod tests {
     }
 
     #[test]
+    fn clear_restores_the_exact_initial_state() {
+        // Shape-level check: after clear(), the priority stream must be
+        // rewound, so re-inserting any sequence reproduces the same tree a
+        // fresh multiset would build — node for node.
+        fn shape(t: &TreapMultiset, idx: u32) -> String {
+            if idx == NIL {
+                return ".".into();
+            }
+            let n = &t.nodes[idx as usize];
+            format!(
+                "({} v{} c{} {})",
+                shape(t, n.left),
+                n.value,
+                n.count,
+                shape(t, n.right)
+            )
+        }
+        let values: Vec<u64> = (0..200u64).map(|i| i.wrapping_mul(0x9E3779B9) % 97).collect();
+        let mut cleared = TreapMultiset::with_seed(4242);
+        for v in 0..300u64 {
+            cleared.insert(v); // burn through priorities before clearing
+        }
+        cleared.clear();
+        let mut fresh = TreapMultiset::with_seed(4242);
+        for &v in &values {
+            cleared.insert(v);
+            fresh.insert(v);
+        }
+        assert_eq!(
+            shape(&cleared, cleared.root),
+            shape(&fresh, fresh.root),
+            "cleared multiset must rebuild the same tree as a fresh one"
+        );
+    }
+
+    #[test]
     fn node_reuse_after_removal() {
         let mut t = TreapMultiset::new();
         for v in 0..50u64 {
@@ -502,43 +545,65 @@ mod tests {
         assert!(d <= cap, "depth {d} exceeds cap {cap}");
     }
 
-    // Property tests live in a nested module so that the proptest prelude's
-    // `Rng` glob does not collide with `simrng::Rng` method resolution above.
+    // Randomized property tests (formerly proptest-based; rewritten on
+    // simrng so the default build needs no registry crates). Enable with
+    // `--features proptest`. Each case count mirrors proptest's default
+    // (256 cases) and failures print the seed for replay.
+    #[cfg(feature = "proptest")]
     mod props {
         use super::*;
-        use proptest::prelude::*;
 
-    proptest! {
         #[test]
-        fn prop_treap_equals_oracle(ops in prop::collection::vec((0u8..2, 0u64..64), 0..300)) {
-            let mut treap = TreapMultiset::new();
-            let mut oracle = SortedVecMultiset::new();
-            for (op, v) in ops {
-                match op {
-                    0 => { treap.insert(v); oracle.insert(v); }
-                    _ => { prop_assert_eq!(treap.remove_one(v), oracle.remove_one(v)); }
+        fn prop_treap_equals_oracle() {
+            for case in 0..256u64 {
+                let mut rng = Xoshiro256pp::seed_from_u64(0xA11CE ^ case);
+                let mut treap = TreapMultiset::new();
+                let mut oracle = SortedVecMultiset::new();
+                let ops = rng.next_below(300);
+                for _ in 0..ops {
+                    let op = rng.next_below(2);
+                    let v = rng.next_below(64);
+                    if op == 0 {
+                        treap.insert(v);
+                        oracle.insert(v);
+                    } else {
+                        assert_eq!(
+                            treap.remove_one(v),
+                            oracle.remove_one(v),
+                            "case {case}"
+                        );
+                    }
+                }
+                assert_eq!(treap.iter_sorted(), oracle.as_slice(), "case {case}");
+                for k in 1..=oracle.len() {
+                    assert_eq!(
+                        treap.kth_smallest(k),
+                        oracle.kth_smallest(k),
+                        "case {case}, k {k}"
+                    );
                 }
             }
-            prop_assert_eq!(treap.iter_sorted(), oracle.as_slice());
-            for k in 1..=oracle.len() {
-                prop_assert_eq!(treap.kth_smallest(k), oracle.kth_smallest(k));
-            }
         }
 
         #[test]
-        fn prop_rank_kth_inverse(mut values in prop::collection::vec(0u64..1000, 1..200), k in 1usize..200) {
-            let mut treap = TreapMultiset::new();
-            for &v in &values {
-                treap.insert(v);
+        fn prop_rank_kth_inverse() {
+            for case in 0..256u64 {
+                let mut rng = Xoshiro256pp::seed_from_u64(0xB0B ^ case);
+                let len = rng.next_below(199) as usize + 1;
+                let mut values: Vec<u64> =
+                    (0..len).map(|_| rng.next_below(1000)).collect();
+                let mut treap = TreapMultiset::new();
+                for &v in &values {
+                    treap.insert(v);
+                }
+                values.sort_unstable();
+                let k = rng.next_below(len as u64) as usize + 1;
+                let kth = treap.kth_smallest(k).unwrap();
+                assert_eq!(kth, values[k - 1], "case {case}");
+                // rank(kth) < k <= rank(kth + 1)
+                assert!(treap.rank(kth) < k, "case {case}");
+                assert!(treap.rank(kth + 1) >= k, "case {case}");
             }
-            values.sort_unstable();
-            let k = ((k - 1) % values.len()) + 1;
-            let kth = treap.kth_smallest(k).unwrap();
-            prop_assert_eq!(kth, values[k - 1]);
-            // rank(kth) < k <= rank(kth + 1)
-            prop_assert!(treap.rank(kth) < k);
-            prop_assert!(treap.rank(kth + 1) >= k);
         }
-    }
     }
 }

@@ -19,6 +19,8 @@
 //! * [`backtesting`] (`backtest`) — the §4.1/§4.4 evaluation engine.
 //! * [`platform`] (`provisioner`) — the §4.3 workload-replay substrate.
 //! * [`rng`] (`simrng`) — deterministic random streams.
+//! * [`parallel`] — the std-only work-stealing pool the engine and the
+//!   experiment harnesses fan out on (`DRAFTS_THREADS` sizes it).
 //!
 //! # Quickstart
 //!
@@ -40,6 +42,7 @@
 
 pub use backtest as backtesting;
 pub use drafts_core as core;
+pub use parallel;
 pub use provisioner as platform;
 pub use simrng as rng;
 pub use spotmarket as market;
