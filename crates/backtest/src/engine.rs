@@ -112,7 +112,7 @@ impl BacktestConfig {
         self.sweep.validate();
     }
 
-    fn request_config(&self) -> RequestConfig {
+    pub(crate) fn request_config(&self) -> RequestConfig {
         RequestConfig {
             count: self.requests_per_combo,
             window_start: self.warmup_days * DAY,

@@ -14,10 +14,13 @@
 //! * [`sweep`] — a single-pass incremental DrAFTS evaluator (O(n log n)
 //!   per combo instead of re-running batch QBETS at every query point),
 //! * [`engine`] — work-stealing parallel orchestration across the 452 combos,
+//! * [`chaos`] — the same evaluation run through a seeded degraded feed,
+//!   with conservative-degradation accounting,
 //! * [`correctness`] — success-fraction accounting and bucketing,
 //! * [`cost`] — the cost-optimization and tightness accounting,
 //! * [`report`] — paper-style table rendering and CSV export.
 
+pub mod chaos;
 pub mod correctness;
 pub mod cost;
 pub mod engine;

@@ -191,16 +191,47 @@ impl<'a> ComboSweep<'a> {
         assert!(t >= self.now, "sweep is forward-only: {t} < {}", self.now);
         self.now = t;
         let times = self.history.series().times();
+        let mut end = self.next_idx;
+        while end < times.len() && times[end] <= t {
+            end += 1;
+        }
+        self.consume_to(end);
+    }
+
+    /// Advances the sweep to include exactly the first `count` updates of
+    /// the history, regardless of their timestamps. This is the
+    /// degraded-feed entry point: a perturbed feed exposes a *prefix* of
+    /// its delivered series at any poll time, and the prefix length — not
+    /// a wall-clock cutoff — is the consumer's information set.
+    ///
+    /// # Panics
+    /// Panics if `count` exceeds the history length or precedes updates
+    /// already consumed (the sweep is forward-only).
+    pub fn advance_count(&mut self, count: usize) {
+        let times = self.history.series().times();
+        assert!(count <= times.len(), "count {count} beyond history");
+        assert!(
+            count >= self.next_idx,
+            "sweep is forward-only: {count} < {}",
+            self.next_idx
+        );
+        if count > 0 {
+            self.now = self.now.max(times[count - 1]);
+        }
+        self.consume_to(count);
+    }
+
+    /// Consumes updates `[next_idx, end)` into the price-step and
+    /// per-level duration state.
+    fn consume_to(&mut self, end: usize) {
+        let times = self.history.series().times();
         let values = self.history.series().values();
 
         // Consume the price-step state (shared across levels) serially.
         let start = self.next_idx;
-        let mut end = start;
-        while end < times.len() && times[end] <= t {
-            let ticks = values[end];
+        for &ticks in &values[start..end] {
             self.price_qbets.observe(ticks);
             self.max_seen = self.max_seen.max(ticks);
-            end += 1;
         }
         if end == start {
             return;
@@ -522,6 +553,37 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn advance_count_matches_advance_to() {
+        let (h, od) = setup(Archetype::Choppy, 30, 9);
+        let t = 20 * spotmarket::DAY;
+        let mut by_time = ComboSweep::new(&h, od, SweepConfig::default());
+        by_time.advance_to(t);
+        let mut by_count = ComboSweep::new(&h, od, SweepConfig::default());
+        // Same prefix in two unequal steps.
+        by_count.advance_count(by_time.consumed() / 2);
+        by_count.advance_count(by_time.consumed());
+        assert_eq!(by_count.consumed(), by_time.consumed());
+        for p in [0.95, 0.99] {
+            let a = by_time.quote(p, 3600);
+            let b = by_count.quote(p, 3600);
+            assert_eq!(a.bid, b.bid);
+            assert_eq!(a.durability_secs, b.durability_secs);
+        }
+        // Mixing is fine as long as it stays forward.
+        by_count.advance_to(25 * spotmarket::DAY);
+        assert!(by_count.consumed() > by_time.consumed());
+    }
+
+    #[test]
+    #[should_panic(expected = "forward-only")]
+    fn advance_count_is_forward_only() {
+        let (h, od) = setup(Archetype::Calm, 2, 1);
+        let mut sweep = ComboSweep::new(&h, od, SweepConfig::default());
+        sweep.advance_count(100);
+        sweep.advance_count(50);
     }
 
     #[test]

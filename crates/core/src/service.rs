@@ -1,4 +1,5 @@
-//! In-process stand-in for the DrAFTS web service (paper §3.3).
+//! In-process stand-in for the DrAFTS web service (paper §3.3), hardened
+//! against a degraded price feed.
 //!
 //! The production prototype at `predictspotprice.cs.ucsb.edu` periodically
 //! queried the price-history API and published, per instance type and AZ,
@@ -11,12 +12,41 @@
 //! callers (`Arc`), and clients never see data fresher than the bucket —
 //! exactly the staleness a polling REST client would experience. The
 //! machine-readable payload is [`BidDurationGraph::to_csv`].
+//!
+//! # Degradation semantics
+//!
+//! The service reads each combo through a [`FeedSource`] — [`CleanFeed`]
+//! in the perfect-feed case, a seeded
+//! [`FaultyFeed`](spotmarket::FaultyFeed) under fault injection — and
+//! attaches a [`FeedHealth`] to every response:
+//!
+//! * **Fresh** — the backing data is at most [`ServiceConfig::fresh_for`]
+//!   old at the bucket time: the normal serving state.
+//! * **Stale** — the feed failed (after
+//!   [`ServiceConfig::max_retries`] retries with deterministic exponential
+//!   backoff) or delivered old data, but the newest usable data is within
+//!   [`ServiceConfig::staleness_budget`]: the last good graphs are served
+//!   with their age attached, and the durability guarantee still stands.
+//! * **Unavailable** — the data exceeds the staleness budget (or never
+//!   existed): the graphs (if any) are served as *no-guarantee* fallbacks.
+//!   [`GraphsResponse::is_guaranteed`] is false, and the §4.4 optimizer
+//!   (`optimizer::choose(None, od)`) routes such requests to On-demand.
+//!
+//! The hard invariant: **no response marked guaranteed is ever computed
+//! from data older than the staleness budget** — guarantees weaken to
+//! "no guarantee"; they are never silently wrong.
+//!
+//! Concurrent fetches of the same `(combo, bucket)` are single-flighted:
+//! one caller computes, the rest block on a condvar and share the result,
+//! so `compute_count` equals the number of distinct buckets served.
 
 use crate::graph::BidDurationGraph;
 use crate::predictor::{DraftsConfig, DraftsPredictor};
+use parallel::lock_clean;
+use spotmarket::faults::{CleanFeed, FeedSource};
 use spotmarket::{Combo, PriceHistory};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -27,6 +57,20 @@ pub struct ServiceConfig {
     pub probabilities: Vec<f64>,
     /// The prediction configuration.
     pub drafts: DraftsConfig,
+    /// Maximum data age (at the bucket time) still considered
+    /// [`FeedHealth::Fresh`].
+    pub fresh_for: u64,
+    /// Maximum data age the service will still vouch for. Within it,
+    /// degraded responses are [`FeedHealth::Stale`] and keep their
+    /// guarantee; beyond it they demote to [`FeedHealth::Unavailable`]
+    /// no-guarantee fallbacks.
+    pub staleness_budget: u64,
+    /// Retries after a transient feed error before falling back to the
+    /// last good graphs.
+    pub max_retries: u32,
+    /// Base backoff between feed retries in seconds; doubles per attempt
+    /// (deterministic: the retry clock is virtual).
+    pub retry_backoff: u64,
 }
 
 impl Default for ServiceConfig {
@@ -35,8 +79,20 @@ impl Default for ServiceConfig {
             recompute_period: 15 * spotmarket::MINUTE,
             probabilities: vec![0.95, 0.99],
             drafts: DraftsConfig::default(),
+            fresh_for: 15 * spotmarket::MINUTE,
+            staleness_budget: spotmarket::HOUR,
+            max_retries: 3,
+            retry_backoff: 30,
         }
     }
+}
+
+/// Probability levels are published on a fixed published grid; two floats
+/// denote the same level iff they agree at basis-point (1/100 of a
+/// percent) resolution. A discrete key cannot mis-match the way an
+/// epsilon comparison can.
+pub fn probability_level_bp(p: f64) -> u32 {
+    (p * 10_000.0).round() as u32
 }
 
 /// The graphs published for one combo at one refresh bucket.
@@ -48,71 +104,178 @@ pub struct ComboGraphs {
 }
 
 impl ComboGraphs {
-    /// The graph at probability `p`, if published.
+    /// The graph at probability `p`, if published (matched at basis-point
+    /// resolution, see [`probability_level_bp`]).
     pub fn at_probability(&self, p: f64) -> Option<&BidDurationGraph> {
+        let key = probability_level_bp(p);
         self.graphs
             .iter()
-            .find(|g| (g.probability - p).abs() < 1e-9)
+            .find(|g| probability_level_bp(g.probability) == key)
+    }
+}
+
+/// Per-combo feed health attached to every served response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeedHealth {
+    /// Data age within [`ServiceConfig::fresh_for`].
+    Fresh,
+    /// Serving data `age` seconds old — degraded but within the staleness
+    /// budget, so guarantees still stand.
+    Stale {
+        /// Data age at the serving bucket's time, in seconds.
+        age: u64,
+    },
+    /// Data older than the staleness budget (or missing): any served
+    /// graphs are no-guarantee fallbacks.
+    Unavailable,
+}
+
+impl FeedHealth {
+    /// Whether responses in this state retain their durability guarantee.
+    pub fn is_guaranteed(&self) -> bool {
+        !matches!(self, FeedHealth::Unavailable)
+    }
+}
+
+/// One served response: the graphs plus the feed-health metadata a client
+/// needs to know how much to trust them.
+#[derive(Debug, Clone)]
+pub struct GraphsResponse {
+    /// The published graphs.
+    pub graphs: Arc<ComboGraphs>,
+    /// Feed health at the serving bucket.
+    pub health: FeedHealth,
+    /// Timestamp of the newest price update backing the graphs.
+    pub covered_until: u64,
+}
+
+impl GraphsResponse {
+    /// Whether the graphs' durability guarantees stand. When false the
+    /// bids are conservative fallbacks and the §4.4 optimizer should route
+    /// the request to On-demand.
+    pub fn is_guaranteed(&self) -> bool {
+        self.health.is_guaranteed()
+    }
+}
+
+/// Last graphs computed from in-budget data, kept per combo for serving
+/// through feed failures.
+#[derive(Debug, Clone)]
+struct LastGood {
+    graphs: Arc<ComboGraphs>,
+    covered_until: u64,
+}
+
+/// A single-flight slot: the first fetcher of a `(combo, bucket)` computes
+/// while later ones wait here for the shared result.
+struct Flight {
+    state: Mutex<Option<Option<GraphsResponse>>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Publishes the result (first writer wins) and wakes all waiters.
+    fn complete(&self, result: Option<GraphsResponse>) {
+        let mut state = lock_clean(&self.state);
+        if state.is_none() {
+            *state = Some(result);
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self) -> Option<GraphsResponse> {
+        let mut state = lock_clean(&self.state);
+        loop {
+            if let Some(result) = state.as_ref() {
+                return result.clone();
+            }
+            state = match self.cv.wait(state) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
     }
 }
 
 /// The in-process DrAFTS service.
 ///
-/// Histories are registered up front (the service "periodically queries
-/// the Amazon price-history API"; our histories already extend through
-/// simulated time, and queries are answered from the prefix visible at the
-/// request's bucket).
+/// Feeds are registered up front (the service "periodically queries the
+/// Amazon price-history API"); queries are answered from whatever each
+/// feed has published by the request's refresh bucket, with retry,
+/// last-good fallback and health metadata as described in the module docs.
 pub struct DraftsService {
     cfg: ServiceConfig,
-    histories: HashMap<u64, Arc<PriceHistory>>,
-    cache: Mutex<HashMap<(u64, u64), Arc<ComboGraphs>>>,
+    feeds: HashMap<u64, Arc<dyn FeedSource>>,
+    cache: Mutex<HashMap<(u64, u64), GraphsResponse>>,
+    last_good: Mutex<HashMap<u64, LastGood>>,
+    inflight: Mutex<HashMap<(u64, u64), Arc<Flight>>>,
     computes: Mutex<u64>,
-}
-
-/// Locks ignoring poisoning: cache entries are inserted whole (`Arc`
-/// swaps), so a panicking writer cannot leave a torn value behind.
-fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    match m.lock() {
-        Ok(g) => g,
-        Err(poisoned) => poisoned.into_inner(),
-    }
+    feed_retries: Mutex<u64>,
 }
 
 impl DraftsService {
     /// Creates a service.
     ///
     /// # Panics
-    /// Panics on a zero recompute period or empty probability list.
+    /// Panics on a zero recompute period, an empty probability list, or a
+    /// staleness budget below the fresh window.
     pub fn new(cfg: ServiceConfig) -> Self {
         assert!(cfg.recompute_period > 0, "recompute period must be > 0");
         assert!(
             !cfg.probabilities.is_empty(),
             "at least one probability level required"
         );
+        assert!(
+            cfg.staleness_budget >= cfg.fresh_for,
+            "staleness budget below the fresh window"
+        );
         cfg.drafts.validate();
         Self {
             cfg,
-            histories: HashMap::new(),
+            feeds: HashMap::new(),
             cache: Mutex::new(HashMap::new()),
+            last_good: Mutex::new(HashMap::new()),
+            inflight: Mutex::new(HashMap::new()),
             computes: Mutex::new(0),
+            feed_retries: Mutex::new(0),
         }
     }
 
-    /// Registers (or replaces) the history backing a combo.
+    /// Registers (or replaces) the history backing a combo as a perfect
+    /// always-available feed.
     pub fn register(&mut self, history: PriceHistory) {
-        self.histories
-            .insert(history.combo().key(), Arc::new(history));
+        self.register_feed(Arc::new(CleanFeed::new(Arc::new(history))));
+    }
+
+    /// Registers (or replaces) an arbitrary feed for its combo and
+    /// invalidates everything cached for the service.
+    pub fn register_feed(&mut self, feed: Arc<dyn FeedSource>) {
+        self.feeds.insert(feed.combo().key(), feed);
         lock_clean(&self.cache).clear();
+        lock_clean(&self.last_good).clear();
     }
 
     /// The combos the service knows about.
     pub fn combos(&self) -> Vec<Combo> {
-        self.histories.values().map(|h| h.combo()).collect()
+        self.feeds.values().map(|f| f.combo()).collect()
     }
 
-    /// Number of graph recomputations performed (cache instrumentation).
+    /// Number of graph recomputations performed (cache + single-flight
+    /// instrumentation: equals the number of distinct buckets computed).
     pub fn compute_count(&self) -> u64 {
         *lock_clean(&self.computes)
+    }
+
+    /// Number of feed poll retries performed after transient errors.
+    pub fn feed_retry_count(&self) -> u64 {
+        *lock_clean(&self.feed_retries)
     }
 
     fn bucket(&self, now: u64) -> u64 {
@@ -122,30 +285,158 @@ impl DraftsService {
     /// Fetches the published graphs for `combo` as of `now`.
     ///
     /// Returns the graphs computed at the start of `now`'s refresh bucket;
-    /// repeated queries within a bucket hit the cache. `None` when the
-    /// combo is unknown or its history has not started by the bucket time.
+    /// repeated queries within a bucket hit the cache, and concurrent
+    /// first queries single-flight onto one computation. `None` when the
+    /// combo is unknown, or no data (current or last-good) exists by the
+    /// bucket time.
     pub fn graphs(&self, combo: Combo, now: u64) -> Option<Arc<ComboGraphs>> {
-        let history = self.histories.get(&combo.key())?.clone();
+        self.fetch(combo, now).map(|r| r.graphs)
+    }
+
+    /// Like [`Self::graphs`], with the feed-health metadata attached.
+    pub fn fetch(&self, combo: Combo, now: u64) -> Option<GraphsResponse> {
+        let feed = self.feeds.get(&combo.key())?.clone();
         let bucket = self.bucket(now);
         let key = (combo.key(), bucket);
         if let Some(hit) = lock_clean(&self.cache).get(&key) {
             return Some(hit.clone());
         }
-        // Compute outside the lock: predictions can take a while and other
-        // combos should not serialize behind them.
-        let bucket_time = bucket * self.cfg.recompute_period;
-        let upto = history.series().index_at(bucket_time)?;
-        let predictor = DraftsPredictor::new(&history, self.cfg.drafts);
-        let mut graphs = Vec::new();
-        for &p in &self.cfg.probabilities {
-            if let Some(g) = BidDurationGraph::compute(&predictor, upto, p) {
-                graphs.push(g.with_timestamp(bucket_time));
+
+        // Single-flight: first caller in computes, the rest wait.
+        let (flight, leader) = {
+            let mut inflight = lock_clean(&self.inflight);
+            match inflight.get(&key) {
+                Some(f) => (f.clone(), false),
+                None => {
+                    let f = Arc::new(Flight::new());
+                    inflight.insert(key, f.clone());
+                    (f, true)
+                }
+            }
+        };
+        if !leader {
+            return flight.wait();
+        }
+
+        // Completion guard: even if the computation panics, waiters are
+        // released (with `None`) and the slot is vacated.
+        struct FlightGuard<'a> {
+            svc: &'a DraftsService,
+            key: (u64, u64),
+            flight: &'a Flight,
+        }
+        impl Drop for FlightGuard<'_> {
+            fn drop(&mut self) {
+                self.flight.complete(None);
+                lock_clean(&self.svc.inflight).remove(&self.key);
             }
         }
-        *lock_clean(&self.computes) += 1;
-        let entry = Arc::new(ComboGraphs { graphs });
-        lock_clean(&self.cache).insert(key, entry.clone());
-        Some(entry)
+        let _guard = FlightGuard {
+            svc: self,
+            key,
+            flight: &flight,
+        };
+
+        // Double-check: a previous leader may have populated the cache
+        // between our miss and our taking leadership.
+        if let Some(hit) = lock_clean(&self.cache).get(&key) {
+            flight.complete(Some(hit.clone()));
+            return Some(hit.clone());
+        }
+        let result = self.compute_bucket(feed.as_ref(), combo, bucket);
+        if let Some(r) = &result {
+            lock_clean(&self.cache).insert(key, r.clone());
+        }
+        flight.complete(result.clone());
+        result
+    }
+
+    /// Polls the feed (with retries) and computes the bucket's response.
+    fn compute_bucket(
+        &self,
+        feed: &dyn FeedSource,
+        combo: Combo,
+        bucket: u64,
+    ) -> Option<GraphsResponse> {
+        let bucket_time = bucket * self.cfg.recompute_period;
+
+        // Retry transient feed errors with deterministic exponential
+        // backoff. The retry clock is virtual (the bucket time plus the
+        // accumulated backoff), so results depend only on the feed's
+        // schedule, never on wall-clock timing.
+        let mut poll_at = bucket_time;
+        let mut attempt: u32 = 0;
+        let snapshot = loop {
+            match feed.poll(poll_at, attempt) {
+                Ok(h) => break Some(h),
+                Err(_) => {
+                    if attempt >= self.cfg.max_retries {
+                        break None;
+                    }
+                    poll_at += self.cfg.retry_backoff << attempt;
+                    attempt += 1;
+                    *lock_clean(&self.feed_retries) += 1;
+                }
+            }
+        };
+
+        let computed = snapshot.and_then(|history| {
+            // Serve only data visible at the bucket time: retries may have
+            // polled later, but the bucket's information set is fixed.
+            let upto = history.series().index_at(bucket_time)?;
+            let covered_until = history.time(upto);
+            let predictor = DraftsPredictor::new(&history, self.cfg.drafts);
+            let mut graphs = Vec::new();
+            for &p in &self.cfg.probabilities {
+                if let Some(g) = BidDurationGraph::compute(&predictor, upto, p) {
+                    graphs.push(g.with_timestamp(bucket_time));
+                }
+            }
+            *lock_clean(&self.computes) += 1;
+            Some((Arc::new(ComboGraphs { graphs }), covered_until))
+        });
+
+        match computed {
+            Some((graphs, covered_until)) => {
+                let health = self.health_for(bucket_time, covered_until);
+                if health.is_guaranteed() {
+                    lock_clean(&self.last_good).insert(
+                        combo.key(),
+                        LastGood {
+                            graphs: graphs.clone(),
+                            covered_until,
+                        },
+                    );
+                }
+                Some(GraphsResponse {
+                    graphs,
+                    health,
+                    covered_until,
+                })
+            }
+            None => {
+                // Feed down (or delivered nothing usable): serve the last
+                // good graphs with their true age — Stale within the
+                // budget, demoted to Unavailable beyond it.
+                let lg = lock_clean(&self.last_good).get(&combo.key()).cloned()?;
+                Some(GraphsResponse {
+                    health: self.health_for(bucket_time, lg.covered_until),
+                    graphs: lg.graphs,
+                    covered_until: lg.covered_until,
+                })
+            }
+        }
+    }
+
+    fn health_for(&self, bucket_time: u64, covered_until: u64) -> FeedHealth {
+        let age = bucket_time.saturating_sub(covered_until);
+        if age <= self.cfg.fresh_for {
+            FeedHealth::Fresh
+        } else if age <= self.cfg.staleness_budget {
+            FeedHealth::Stale { age }
+        } else {
+            FeedHealth::Unavailable
+        }
     }
 }
 
@@ -153,8 +444,9 @@ impl DraftsService {
 mod tests {
     use super::*;
     use spotmarket::archetype::Archetype;
+    use spotmarket::faults::{FaultPlan, FaultyFeed, FeedError};
     use spotmarket::tracegen::{generate_with_archetype, TraceConfig};
-    use spotmarket::{Az, Catalog};
+    use spotmarket::{Az, Catalog, MINUTE};
 
     fn service() -> (DraftsService, Combo) {
         let cat = Catalog::standard();
@@ -189,6 +481,20 @@ mod tests {
         assert!(g.at_probability(0.95).is_some());
         assert!(g.at_probability(0.99).is_some());
         assert!(g.at_probability(0.5).is_none(), "unpublished level");
+    }
+
+    #[test]
+    fn probability_levels_match_at_basis_point_resolution() {
+        let (svc, combo) = service();
+        let g = svc.graphs(combo, 20 * spotmarket::DAY).unwrap();
+        // Any float denoting the same basis-point level matches — even
+        // ones an epsilon comparison would miss.
+        assert!(g.at_probability(0.95 + 4e-5).is_some());
+        assert!(g.at_probability(0.9500000001).is_some());
+        assert!(g.at_probability(0.9501).is_none(), "next level up");
+        assert_eq!(probability_level_bp(0.99), 9900);
+        assert_eq!(probability_level_bp(0.95), 9500);
+        assert_ne!(probability_level_bp(0.9949), probability_level_bp(0.995));
     }
 
     #[test]
@@ -257,6 +563,16 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "staleness budget")]
+    fn rejects_budget_below_fresh_window() {
+        DraftsService::new(ServiceConfig {
+            fresh_for: spotmarket::HOUR,
+            staleness_budget: MINUTE,
+            ..ServiceConfig::default()
+        });
+    }
+
+    #[test]
     fn registering_clears_cache() {
         let (mut svc, combo) = service();
         let _ = svc.graphs(combo, 20 * spotmarket::DAY).unwrap();
@@ -271,5 +587,211 @@ mod tests {
         svc.register(h2);
         let _ = svc.graphs(combo, 20 * spotmarket::DAY).unwrap();
         assert_eq!(svc.compute_count(), 2, "cache was invalidated");
+    }
+
+    #[test]
+    fn clean_feed_is_always_fresh_and_guaranteed() {
+        let (svc, combo) = service();
+        let r = svc.fetch(combo, 20 * spotmarket::DAY).unwrap();
+        assert_eq!(r.health, FeedHealth::Fresh);
+        assert!(r.is_guaranteed());
+        assert!(r.covered_until <= 20 * spotmarket::DAY);
+    }
+
+    #[test]
+    fn single_flight_under_concurrent_fanout() {
+        // Fan out many concurrent fetches over a handful of buckets on the
+        // workspace pool: exactly one computation per distinct bucket, and
+        // every caller of the same bucket shares the same Arc.
+        let (svc, combo) = service();
+        let t0 = 20 * spotmarket::DAY;
+        let period = 15 * spotmarket::MINUTE;
+        let buckets = 4u64;
+        let queries: Vec<u64> = (0..32)
+            .map(|i| t0 + (i % buckets) * period + (i / buckets) * 7)
+            .collect();
+        let results = parallel::Pool::new(8).par_map(&queries, |&t| {
+            (t / period, svc.graphs(combo, t).expect("graphs published"))
+        });
+        assert_eq!(
+            svc.compute_count(),
+            buckets,
+            "single-flight must compute once per distinct bucket"
+        );
+        for (ba, ga) in &results {
+            for (bb, gb) in &results {
+                if ba == bb {
+                    assert!(Arc::ptr_eq(ga, gb), "same bucket, same graphs");
+                }
+            }
+        }
+    }
+
+    /// A feed that fails the first `fail_attempts` polls of every fetch,
+    /// then serves a clean history.
+    struct FlakyFeed {
+        inner: CleanFeed,
+        fail_attempts: u32,
+    }
+    impl FeedSource for FlakyFeed {
+        fn combo(&self) -> Combo {
+            self.inner.combo()
+        }
+        fn poll(
+            &self,
+            now: u64,
+            attempt: u32,
+        ) -> Result<Arc<PriceHistory>, FeedError> {
+            if attempt < self.fail_attempts {
+                Err(FeedError::Throttled)
+            } else {
+                self.inner.poll(now, attempt)
+            }
+        }
+    }
+
+    fn history_for(combo: Combo, seed: u64) -> PriceHistory {
+        generate_with_archetype(
+            combo,
+            Catalog::standard(),
+            &TraceConfig::days(30, seed),
+            Archetype::Choppy,
+        )
+    }
+
+    #[test]
+    fn transient_feed_errors_are_retried_within_the_budget() {
+        let (_, combo) = service();
+        let h = Arc::new(history_for(combo, 55));
+        let mut svc = DraftsService::new(ServiceConfig::default());
+        svc.register_feed(Arc::new(FlakyFeed {
+            inner: CleanFeed::new(h),
+            fail_attempts: 2, // < max_retries = 3
+        }));
+        let r = svc.fetch(combo, 20 * spotmarket::DAY).unwrap();
+        assert_eq!(r.health, FeedHealth::Fresh, "retries must recover");
+        assert_eq!(svc.feed_retry_count(), 2);
+    }
+
+    #[test]
+    fn exhausted_retries_without_history_yield_none() {
+        let (_, combo) = service();
+        let h = Arc::new(history_for(combo, 55));
+        let mut svc = DraftsService::new(ServiceConfig::default());
+        svc.register_feed(Arc::new(FlakyFeed {
+            inner: CleanFeed::new(h),
+            fail_attempts: u32::MAX, // never succeeds
+        }));
+        assert!(
+            svc.fetch(combo, 20 * spotmarket::DAY).is_none(),
+            "no data ever served: nothing to fall back to"
+        );
+    }
+
+    #[test]
+    fn outage_serves_last_good_stale_then_demotes_past_budget() {
+        let (_, combo) = service();
+        let truth = Arc::new(history_for(combo, 55));
+        // A feed with one long outage window covering [20d, 20d + 3h).
+        let day20 = 20 * spotmarket::DAY;
+        struct OutageFeed {
+            inner: CleanFeed,
+            from: u64,
+            until: u64,
+        }
+        impl FeedSource for OutageFeed {
+            fn combo(&self) -> Combo {
+                self.inner.combo()
+            }
+            fn poll(
+                &self,
+                now: u64,
+                attempt: u32,
+            ) -> Result<Arc<PriceHistory>, FeedError> {
+                if (self.from..self.until).contains(&now) {
+                    Err(FeedError::Outage { until: self.until })
+                } else {
+                    self.inner.poll(now, attempt)
+                }
+            }
+        }
+        let cfg = ServiceConfig {
+            staleness_budget: spotmarket::HOUR,
+            ..ServiceConfig::default()
+        };
+        let mut svc = DraftsService::new(cfg);
+        svc.register_feed(Arc::new(OutageFeed {
+            inner: CleanFeed::new(truth),
+            from: day20,
+            until: day20 + 3 * spotmarket::HOUR,
+        }));
+
+        // Before the outage: fresh, and last-good is primed.
+        let before = svc.fetch(combo, day20 - 15 * MINUTE).unwrap();
+        assert_eq!(before.health, FeedHealth::Fresh);
+
+        // Shortly into the outage: last-good served as Stale, guaranteed.
+        let early = svc.fetch(combo, day20 + 30 * MINUTE).unwrap();
+        match early.health {
+            FeedHealth::Stale { age } => {
+                assert!(age <= spotmarket::HOUR, "within budget, age {age}");
+            }
+            other => panic!("expected Stale, got {other:?}"),
+        }
+        assert!(early.is_guaranteed());
+        assert_eq!(early.covered_until, before.covered_until);
+        assert!(
+            Arc::ptr_eq(&early.graphs, &before.graphs),
+            "the last good graphs are what is served"
+        );
+
+        // Deep into the outage, past the budget: demoted, no guarantee.
+        let late = svc.fetch(combo, day20 + 2 * spotmarket::HOUR).unwrap();
+        assert_eq!(late.health, FeedHealth::Unavailable);
+        assert!(!late.is_guaranteed());
+
+        // After the outage: fresh again.
+        let after = svc.fetch(combo, day20 + 4 * spotmarket::HOUR).unwrap();
+        assert_eq!(after.health, FeedHealth::Fresh);
+    }
+
+    #[test]
+    fn guaranteed_responses_never_exceed_the_staleness_budget() {
+        // The acceptance invariant, checked across a hostile seeded plan:
+        // every response marked guaranteed is backed by data no older than
+        // the budget at its bucket time.
+        let (_, combo) = service();
+        let truth = Arc::new(history_for(combo, 55));
+        let plan = FaultPlan::with_intensity(424242, 1.0);
+        let cfg = ServiceConfig {
+            drafts: DraftsConfig {
+                changepoint: None,
+                autocorr: false,
+                duration_stride: 6,
+                ..DraftsConfig::default()
+            },
+            ..ServiceConfig::default()
+        };
+        let budget = cfg.staleness_budget;
+        let period = cfg.recompute_period;
+        let mut svc = DraftsService::new(cfg);
+        svc.register_feed(Arc::new(FaultyFeed::new(truth, plan)));
+        let mut degraded = 0;
+        for i in 0..200u64 {
+            let now = 10 * spotmarket::DAY + i * period;
+            let Some(r) = svc.fetch(combo, now) else {
+                continue;
+            };
+            let bucket_time = (now / period) * period;
+            if r.is_guaranteed() {
+                assert!(
+                    bucket_time.saturating_sub(r.covered_until) <= budget,
+                    "guaranteed response from data older than the budget at {now}"
+                );
+            } else {
+                degraded += 1;
+            }
+        }
+        assert!(degraded > 0, "a hostile plan must degrade some buckets");
     }
 }

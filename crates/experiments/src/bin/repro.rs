@@ -3,14 +3,15 @@
 //! ```text
 //! repro <experiment> [--quick]
 //! experiment: table1 | figure1 | figure2 | figure3 | figure4
-//!           | table2 | table3 | table4 | table5 | tightness | all
+//!           | table2 | table3 | table4 | table5 | tightness
+//!           | reflexivity | faults | all
 //! ```
 //!
 //! Artifacts (rendered tables + CSV series) land in `results/` (override
 //! with `DRAFTS_RESULTS_DIR`).
 
 use experiments::common::{self, Scale};
-use experiments::{figure1, figure4, launch, reflexivity, table1, table2, table3, table45};
+use experiments::{faults, figure1, figure4, launch, reflexivity, table1, table2, table3, table45};
 use std::time::Instant;
 
 fn main() {
@@ -37,6 +38,7 @@ fn main() {
         "table5" => run_table45(scale, 5),
         "tightness" => run_tightness(scale),
         "reflexivity" => run_reflexivity(),
+        "faults" => run_faults(scale),
         "all" => {
             run_table1_figure1_table4(scale);
             run_table45(scale, 5);
@@ -46,11 +48,12 @@ fn main() {
             run_table2(scale);
             run_table3(scale);
             run_reflexivity();
+            run_faults(scale);
         }
         other => {
             eprintln!(
                 "unknown experiment '{other}'; expected table1|figure1|figure2|figure3|\
-                 figure4|table2|table3|table4|table5|tightness|reflexivity|all"
+                 figure4|table2|table3|table4|table5|tightness|reflexivity|faults|all"
             );
             std::process::exit(2);
         }
@@ -149,6 +152,23 @@ fn run_reflexivity() {
     table
         .write_csv(&common::results_dir().join("reflexivity.csv"))
         .expect("write reflexivity csv");
+}
+
+fn run_faults(scale: Scale) {
+    let out = faults::run(scale);
+    let table = faults::render(&out);
+    println!("{}", table.render());
+    assert!(
+        out.conservative(),
+        "fault degradation must stay conservative"
+    );
+    table
+        .write_csv(&common::results_dir().join("faults.csv"))
+        .expect("write faults csv");
+    eprintln!(
+        "wrote {}",
+        common::display(&common::results_dir().join("faults.csv"))
+    );
 }
 
 fn run_table3(scale: Scale) {

@@ -19,8 +19,10 @@
 //! | `table5`  | per-AZ savings at p = 0.95               | [`table45`] |
 //! | `tightness` | bid/price ratio ablation (tech report) | [`table45`] |
 //! | `reflexivity` | SS6 future work: adoption feedback      | [`reflexivity`] |
+//! | `faults`  | feed-fault degradation sweep (robustness) | [`faults`] |
 
 pub mod common;
+pub mod faults;
 pub mod figure1;
 pub mod figure4;
 pub mod launch;

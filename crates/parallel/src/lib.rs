@@ -328,9 +328,15 @@ fn next_task(me: usize, queues: &[Mutex<VecDeque<usize>>]) -> Option<usize> {
     None
 }
 
-/// Locks ignoring poisoning: a deque of `usize` cannot be left in a
-/// torn state, and panic propagation is handled via the abort flag.
-fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+/// Locks a [`std::sync::Mutex`], ignoring poisoning.
+///
+/// The workspace's shared poison-recovery helper: correct whenever the
+/// protected state is updated whole (an `Arc` swap, a counter bump, a
+/// deque push) so a panicking holder cannot leave a torn value behind,
+/// and panic propagation is handled by other means (the pool's abort
+/// flag, the service's single-flight completion guard). Use this instead
+/// of hand-rolled `match m.lock()` blocks at every mutex in the repo.
+pub fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     match m.lock() {
         Ok(g) => g,
         Err(poisoned) => poisoned.into_inner(),

@@ -17,6 +17,12 @@ pub struct ReplayMetrics {
     pub jobs_completed: u64,
     /// Replay makespan in seconds (first submission to last completion).
     pub makespan: u64,
+    /// Jobs requeued after a failed launch attempt (any cause).
+    pub requeues: u64,
+    /// Launch attempts refused for insufficient capacity.
+    pub capacity_failures: u64,
+    /// Launch attempts throttled by the API.
+    pub throttle_failures: u64,
 }
 
 impl ReplayMetrics {
@@ -28,6 +34,9 @@ impl ReplayMetrics {
         self.terminations += other.terminations;
         self.jobs_completed += other.jobs_completed;
         self.makespan += other.makespan;
+        self.requeues += other.requeues;
+        self.capacity_failures += other.capacity_failures;
+        self.throttle_failures += other.throttle_failures;
     }
 
     /// Averages accumulated metrics over `n` experiments (Table 3 reports
@@ -42,6 +51,9 @@ impl ReplayMetrics {
             terminations: self.terminations as f64 / nf,
             jobs_completed: self.jobs_completed as f64 / nf,
             makespan: self.makespan as f64 / nf,
+            requeues: self.requeues as f64 / nf,
+            capacity_failures: self.capacity_failures as f64 / nf,
+            throttle_failures: self.throttle_failures as f64 / nf,
         }
     }
 }
@@ -61,6 +73,12 @@ pub struct AveragedMetrics {
     pub jobs_completed: f64,
     /// Average makespan in seconds.
     pub makespan: f64,
+    /// Average launch-failure requeues.
+    pub requeues: f64,
+    /// Average insufficient-capacity launch failures.
+    pub capacity_failures: f64,
+    /// Average throttled launch attempts.
+    pub throttle_failures: f64,
 }
 
 #[cfg(test)]
@@ -78,6 +96,9 @@ mod tests {
                 terminations: i % 2,
                 jobs_completed: 10 * i,
                 makespan: 100 * i,
+                requeues: 2 * i,
+                capacity_failures: i,
+                throttle_failures: i,
             });
         }
         let avg = acc.averaged(4);
@@ -87,6 +108,9 @@ mod tests {
         assert!((avg.terminations - 0.5).abs() < 1e-12);
         assert!((avg.jobs_completed - 25.0).abs() < 1e-12);
         assert!((avg.makespan - 250.0).abs() < 1e-12);
+        assert!((avg.requeues - 5.0).abs() < 1e-12);
+        assert!((avg.capacity_failures - 2.5).abs() < 1e-12);
+        assert!((avg.throttle_failures - 2.5).abs() < 1e-12);
     }
 
     #[test]

@@ -89,10 +89,16 @@ pub fn plan(
             for &ty in &types {
                 for az in catalog.azs_offering(ty, region) {
                     let combo = Combo::new(az, ty);
-                    let Some(graphs) = service.graphs(combo, now) else {
+                    let Some(response) = service.fetch(combo, now) else {
                         continue;
                     };
-                    let Some(graph) = graphs.at_probability(target_p) else {
+                    // A degraded feed past its staleness budget serves
+                    // no-guarantee fallbacks: never launch spot on those —
+                    // the optimizer routes such jobs to On-demand instead.
+                    if !response.is_guaranteed() {
+                        continue;
+                    }
+                    let Some(graph) = response.graphs.at_probability(target_p) else {
                         continue;
                     };
                     let Some(bp) = graph.bid_for_duration(required) else {

@@ -19,7 +19,7 @@ use spotmarket::catalog::Catalog;
 use spotmarket::lifecycle::{InstanceState, TerminationReason};
 use spotmarket::simulator::{LaunchError, SpotSimulator};
 use spotmarket::tracegen::TraceConfig;
-use spotmarket::{Price, Region, DAY};
+use spotmarket::{LaunchFaults, Price, Region, DAY, MINUTE};
 use std::collections::VecDeque;
 
 /// Replay parameters.
@@ -46,6 +46,12 @@ pub struct ReplayConfig {
     pub workload: WorkloadConfig,
     /// DrAFTS prediction configuration used by the service.
     pub drafts: DraftsConfig,
+    /// Seeded launch-API faults injected into the market simulator
+    /// ([`LaunchFaults::none`] by default: the clean path).
+    pub launch_faults: LaunchFaults,
+    /// Cap on the per-job exponential backoff after transient launch
+    /// failures (throttling, insufficient capacity).
+    pub max_launch_backoff: u64,
 }
 
 impl Default for ReplayConfig {
@@ -64,6 +70,8 @@ impl Default for ReplayConfig {
                 duration_stride: 3,
                 ..DraftsConfig::default()
             },
+            launch_faults: LaunchFaults::none(),
+            max_launch_backoff: 15 * MINUTE,
         }
     }
 }
@@ -75,6 +83,8 @@ impl ReplayConfig {
     /// Panics on inconsistent windows or a zero scan interval.
     pub fn validate(&self) {
         assert!(self.scan_interval > 0, "zero scan interval");
+        assert!(self.max_launch_backoff > 0, "zero launch backoff cap");
+        self.launch_faults.validate();
         assert!(
             self.replay_start < self.history_days * DAY,
             "replay starts outside the histories"
@@ -107,6 +117,7 @@ impl Replay {
         let cfg = &self.cfg;
         let trace_cfg = TraceConfig::days(cfg.history_days, cfg.seed);
         let mut sim = SpotSimulator::new(self.catalog, trace_cfg);
+        sim.set_launch_faults(cfg.launch_faults);
 
         // The DrAFTS service sees the same histories the market replays.
         let mut service = DraftsService::new(ServiceConfig {
@@ -115,6 +126,7 @@ impl Replay {
             // Half-hourly refresh keeps single-core replays tractable
             // while staying within the spirit of the 15-minute service.
             recompute_period: 30 * spotmarket::MINUTE,
+            ..ServiceConfig::default()
         });
         if matches!(
             cfg.policy,
@@ -134,6 +146,10 @@ impl Replay {
         let mut pool = Pool::new();
         let mut queue: VecDeque<u32> = VecDeque::new();
         let mut attempts = vec![0u32; jobs.len()];
+        // Transient-launch-fault bookkeeping, separate from the bid
+        // escalation above: fault retries back off, bid retries escalate.
+        let mut fault_attempts = vec![0u32; jobs.len()];
+        let mut not_before = vec![0u64; jobs.len()];
         let mut next_job = 0usize;
         let mut last_completion = cfg.replay_start;
 
@@ -181,12 +197,18 @@ impl Replay {
             let mut still_queued = VecDeque::new();
             while let Some(job_id) = queue.pop_front() {
                 let job = &jobs[job_id as usize];
+                let ji = job_id as usize;
+                if not_before[ji] > t {
+                    // Backing off after a transient launch fault.
+                    still_queued.push_back(job_id);
+                    continue;
+                }
                 if let Some(entry) = pool.find_idle(self.catalog, &job.profile, t) {
                     Pool::assign(entry, job, t);
                     continue;
                 }
-                match self.launch(&mut sim, &service, job, t, attempts[job_id as usize]) {
-                    Some((id, plan)) => {
+                match self.launch(&mut sim, &service, job, t, attempts[ji]) {
+                    Ok((id, plan)) => {
                         let mut entry = PoolEntry {
                             id,
                             combo: plan.combo,
@@ -198,8 +220,34 @@ impl Replay {
                         pool.add(entry);
                         metrics.instances += 1;
                     }
-                    None => {
-                        attempts[job_id as usize] += 1;
+                    Err(failure) => {
+                        match failure {
+                            LaunchFailure::Transient(e) => {
+                                // Bounded exponential backoff, then retry
+                                // the same plan: capacity windows pass and
+                                // throttling is per-request.
+                                match e {
+                                    LaunchError::InsufficientCapacity => {
+                                        metrics.capacity_failures += 1;
+                                    }
+                                    LaunchError::Throttled => {
+                                        metrics.throttle_failures += 1;
+                                    }
+                                    _ => {}
+                                }
+                                let shift = fault_attempts[ji].min(16);
+                                let delay = (cfg.scan_interval << shift)
+                                    .min(cfg.max_launch_backoff);
+                                not_before[ji] = t + delay;
+                                fault_attempts[ji] += 1;
+                            }
+                            LaunchFailure::Rejected => {
+                                // Bid too low (or no plan): next scan may
+                                // escalate the bid.
+                                attempts[ji] += 1;
+                            }
+                        }
+                        metrics.requeues += 1;
                         still_queued.push_back(job_id);
                     }
                 }
@@ -241,7 +289,7 @@ impl Replay {
         job: &Job,
         t: u64,
         prior_attempts: u32,
-    ) -> Option<(spotmarket::lifecycle::InstanceId, LaunchPlan)> {
+    ) -> Result<(spotmarket::lifecycle::InstanceId, LaunchPlan), LaunchFailure> {
         let cfg = &self.cfg;
         let mut plan = policy::plan(
             cfg.policy,
@@ -264,7 +312,8 @@ impl Replay {
                 t,
                 cfg.target_p,
             )
-        })?;
+        })
+        .ok_or(LaunchFailure::Rejected)?;
         if prior_attempts >= 3 {
             // The market has rejected this job repeatedly: escalate to
             // 1.5x the current price (capped by worst-case On-demand x2).
@@ -276,10 +325,20 @@ impl Replay {
             }
         }
         match sim.request(plan.combo, plan.bid, t) {
-            Ok(id) => Some((id, plan)),
-            Err(LaunchError::BidTooLow { .. }) | Err(LaunchError::NoMarketData) => None,
+            Ok(id) => Ok((id, plan)),
+            Err(e) if e.is_transient() => Err(LaunchFailure::Transient(e)),
+            Err(_) => Err(LaunchFailure::Rejected),
         }
     }
+}
+
+/// Why a launch attempt produced no instance.
+enum LaunchFailure {
+    /// No plan, or the market rejected the bid — retried every scan, with
+    /// bid escalation after repeated rejections.
+    Rejected,
+    /// A transient launch-API fault — retried after a bounded backoff.
+    Transient(LaunchError),
 }
 
 #[cfg(test)]
@@ -363,6 +422,40 @@ mod tests {
             "hourly reuse should pack 80 short jobs onto fewer instances, used {}",
             m.instances
         );
+    }
+
+    #[test]
+    fn faulty_launches_still_complete_the_workload() {
+        let cfg = ReplayConfig {
+            launch_faults: LaunchFaults::with_intensity(11, 1.0),
+            ..small_cfg(ProvisionerPolicy::Original)
+        };
+        let m = Replay::new(cfg.clone()).run();
+        assert_eq!(
+            m.jobs_completed, 60,
+            "transient launch faults must not strand jobs"
+        );
+        assert!(
+            m.capacity_failures + m.throttle_failures > 0,
+            "intensity 1 must inject some launch failures"
+        );
+        assert!(m.requeues >= m.capacity_failures + m.throttle_failures);
+        // And the faulty replay is still deterministic.
+        assert_eq!(m, Replay::new(cfg).run());
+    }
+
+    #[test]
+    fn zero_launch_faults_match_the_clean_replay() {
+        let clean = Replay::new(small_cfg(ProvisionerPolicy::Original)).run();
+        let gated = Replay::new(ReplayConfig {
+            launch_faults: LaunchFaults::none(),
+            max_launch_backoff: 7 * MINUTE,
+            ..small_cfg(ProvisionerPolicy::Original)
+        })
+        .run();
+        assert_eq!(clean, gated, "the zero-fault plan is the clean path");
+        assert_eq!(clean.capacity_failures, 0);
+        assert_eq!(clean.throttle_failures, 0);
     }
 
     #[test]

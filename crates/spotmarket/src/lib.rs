@@ -22,6 +22,9 @@
 //! * [`billing`] — hourly billing with round-up semantics (§2.1),
 //! * [`lifecycle`] / [`simulator`] — instance state machine and the
 //!   post-facto launch simulator used by the §4.2-style experiments,
+//! * [`faults`] — seeded fault injection: perturbed price feeds behind the
+//!   [`faults::FeedSource`] trait (outages, lag, loss, duplication,
+//!   corruption) and launch-API failures for degradation testing,
 //! * [`obfuscation`] — per-account AZ-name remapping and its
 //!   correlation-based deobfuscation (§2.2),
 //! * [`reflexivity`] — the paper's §6 future-work question: how DrAFTS
@@ -31,6 +34,7 @@ pub mod agents;
 pub mod archetype;
 pub mod billing;
 pub mod catalog;
+pub mod faults;
 pub mod history;
 pub mod lifecycle;
 pub mod market;
@@ -42,6 +46,7 @@ pub mod tracegen;
 pub mod types;
 
 pub use catalog::Catalog;
+pub use faults::{CleanFeed, FaultPlan, FaultyFeed, FeedError, FeedSource, LaunchFaults};
 pub use history::PriceHistory;
 pub use price::Price;
 pub use types::{Az, Combo, Region, TypeId};

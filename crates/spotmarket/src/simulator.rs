@@ -9,6 +9,7 @@
 
 use crate::billing::{self, EndReason};
 use crate::catalog::Catalog;
+use crate::faults::LaunchFaults;
 use crate::history::{PriceHistory, Survival};
 use crate::lifecycle::{Instance, InstanceId, InstanceState, TerminationReason};
 use crate::price::Price;
@@ -26,6 +27,24 @@ pub enum LaunchError {
     },
     /// No price history covers the combo at the request time.
     NoMarketData,
+    /// The AZ has no spare capacity for the type right now (EC2's
+    /// `InsufficientInstanceCapacity`); transient — capacity windows pass.
+    InsufficientCapacity,
+    /// The launch API throttled the request (`RequestLimitExceeded`);
+    /// transient — retry after a backoff.
+    Throttled,
+}
+
+impl LaunchError {
+    /// Whether retrying the same request later can succeed even if the
+    /// market state does not change. Bid-too-low is *not* transient in
+    /// this sense: it needs a price move or a higher bid, not a retry.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            LaunchError::InsufficientCapacity | LaunchError::Throttled
+        )
+    }
 }
 
 /// Launch simulator over a set of per-combo histories.
@@ -37,6 +56,9 @@ pub struct SpotSimulator {
     instances: Vec<Instance>,
     /// Price-termination time per instance, if its bid is ever reached.
     fates: Vec<Option<u64>>,
+    launch_faults: LaunchFaults,
+    /// Ordinal of the next launch request (throttling is per-request).
+    request_seq: u64,
 }
 
 impl SpotSimulator {
@@ -49,7 +71,17 @@ impl SpotSimulator {
             histories: HashMap::new(),
             instances: Vec::new(),
             fates: Vec::new(),
+            launch_faults: LaunchFaults::none(),
+            request_seq: 0,
         }
+    }
+
+    /// Injects seeded launch-API faults (insufficient capacity windows and
+    /// request throttling) into subsequent [`Self::request`] calls. The
+    /// default is [`LaunchFaults::none`], which gates nothing.
+    pub fn set_launch_faults(&mut self, faults: LaunchFaults) {
+        faults.validate();
+        self.launch_faults = faults;
     }
 
     /// The catalog in use.
@@ -76,9 +108,23 @@ impl SpotSimulator {
 
     /// Requests an instance. On success the instance starts running at `t`
     /// and its price-termination fate is sealed by the history.
+    ///
+    /// With launch faults configured, the request may instead fail with a
+    /// transient [`LaunchError::Throttled`] or
+    /// [`LaunchError::InsufficientCapacity`] — decided by stateless hashes
+    /// of `(combo, t, ordinal)`, so the zero-fault path is byte-identical
+    /// to a simulator without fault gating.
     pub fn request(&mut self, combo: Combo, bid: Price, t: u64) -> Result<InstanceId, LaunchError> {
         if !self.catalog.is_available(combo) {
             return Err(LaunchError::NoMarketData);
+        }
+        let nth = self.request_seq;
+        self.request_seq += 1;
+        if self.launch_faults.throttled(combo, t, nth) {
+            return Err(LaunchError::Throttled);
+        }
+        if self.launch_faults.capacity_exhausted(combo, t) {
+            return Err(LaunchError::InsufficientCapacity);
         }
         let history = self.history(combo);
         let fate = match history.survival(t, bid) {
@@ -298,6 +344,54 @@ mod tests {
             Price::from_ticks(300),
             "worst case bills the bid"
         );
+    }
+
+    #[test]
+    fn launch_faults_gate_requests_transiently() {
+        let c = combo();
+        let mk = || {
+            let mut s = sim();
+            s.set_launch_faults(LaunchFaults::with_intensity(7, 1.0));
+            s.insert_history(fixed_history(c, &[(0, 100)]));
+            s
+        };
+        // Sweep requests across capacity windows: with intensity 1 some
+        // fail transiently, some succeed, and the pattern is a pure
+        // function of (combo, time, ordinal) — two simulators agree.
+        let (mut a, mut b) = (mk(), mk());
+        let mut failures = 0;
+        let mut successes = 0;
+        for i in 0..200u64 {
+            let t = i * 1800;
+            let ra = a.request(c, Price::from_ticks(200), t);
+            let rb = b.request(c, Price::from_ticks(200), t);
+            assert_eq!(ra, rb, "fault gating must be deterministic");
+            match ra {
+                Err(e) => {
+                    assert!(e.is_transient(), "only transient faults expected");
+                    failures += 1;
+                }
+                Ok(_) => successes += 1,
+            }
+        }
+        assert!(failures > 0, "intensity 1 must inject some failures");
+        assert!(successes > 0, "faults must not block every request");
+        assert!(!LaunchError::BidTooLow {
+            market_price: Price::from_ticks(1)
+        }
+        .is_transient());
+        assert!(!LaunchError::NoMarketData.is_transient());
+    }
+
+    #[test]
+    fn zero_faults_change_nothing() {
+        let c = combo();
+        let mut s = sim();
+        s.set_launch_faults(LaunchFaults::none());
+        s.insert_history(fixed_history(c, &[(0, 100)]));
+        for i in 0..50u64 {
+            assert!(s.request(c, Price::from_ticks(200), i * 60).is_ok());
+        }
     }
 
     #[test]
