@@ -73,15 +73,28 @@ impl BidDurationGraph {
         self.points[0].bid
     }
 
-    /// Smallest published bid guaranteeing at least `required_secs`.
+    /// The cheapest published bid guaranteeing at least `required_secs`.
+    ///
+    /// This is the client-facing query of the DrAFTS service ("what
+    /// maximum bid ensures a specific instance duration", §4.3), shared
+    /// by the provisioner's launch planner and the `/v1/bid` route.
+    /// Durations are monotone in bid (enforced at construction), so the
+    /// knee is found by binary search.
+    pub fn cheapest_bid(&self, required_secs: u64) -> Option<BidPrediction> {
+        let i = self
+            .points
+            .partition_point(|p| p.durability_secs < required_secs);
+        self.points.get(i).map(|p| BidPrediction {
+            bid: p.bid,
+            durability_secs: p.durability_secs,
+        })
+    }
+
+    /// Smallest published bid guaranteeing at least `required_secs`
+    /// (alias of [`Self::cheapest_bid`], kept for the predictor-facing
+    /// call sites that predate the serving layer).
     pub fn bid_for_duration(&self, required_secs: u64) -> Option<BidPrediction> {
-        self.points
-            .iter()
-            .find(|p| p.durability_secs >= required_secs)
-            .map(|p| BidPrediction {
-                bid: p.bid,
-                durability_secs: p.durability_secs,
-            })
+        self.cheapest_bid(required_secs)
     }
 
     /// Guaranteed duration of the largest published bid `<= bid`
@@ -170,6 +183,57 @@ mod tests {
         }
         // An absurd duration is not guaranteed by any grid point.
         assert!(g.bid_for_duration(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn cheapest_bid_matches_linear_scan_everywhere() {
+        let h = history();
+        let pred = DraftsPredictor::new(&h, cfg());
+        let g = BidDurationGraph::compute(&pred, h.len() - 1, 0.95).unwrap();
+        // Probe every knee: each published duration, one second either
+        // side of it, zero, and beyond the maximum.
+        let mut probes = vec![0u64, 1, u64::MAX];
+        for p in g.points() {
+            probes.push(p.durability_secs);
+            probes.push(p.durability_secs.saturating_sub(1));
+            probes.push(p.durability_secs + 1);
+        }
+        for required in probes {
+            let linear = g
+                .points()
+                .iter()
+                .find(|p| p.durability_secs >= required)
+                .map(|p| (p.bid, p.durability_secs));
+            let binary = g
+                .cheapest_bid(required)
+                .map(|bp| (bp.bid, bp.durability_secs));
+            assert_eq!(binary, linear, "required = {required}");
+        }
+    }
+
+    #[test]
+    fn cheapest_bid_is_minimal_over_published_points() {
+        let h = history();
+        let pred = DraftsPredictor::new(&h, cfg());
+        let g = BidDurationGraph::compute(&pred, h.len() - 1, 0.95).unwrap();
+        let required = 2 * 3600;
+        if let Some(bp) = g.cheapest_bid(required) {
+            assert!(bp.durability_secs >= required);
+            for p in g.points() {
+                if p.durability_secs >= required {
+                    assert!(bp.bid <= p.bid, "a cheaper qualifying point exists");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cheapest_bid_zero_duration_is_the_minimum_bid() {
+        let h = history();
+        let pred = DraftsPredictor::new(&h, cfg());
+        let g = BidDurationGraph::compute(&pred, h.len() - 1, 0.95).unwrap();
+        let bp = g.cheapest_bid(0).unwrap();
+        assert_eq!(bp.bid, g.min_bid());
     }
 
     #[test]

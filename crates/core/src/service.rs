@@ -44,7 +44,7 @@ use crate::graph::BidDurationGraph;
 use crate::predictor::{DraftsConfig, DraftsPredictor};
 use parallel::lock_clean;
 use spotmarket::faults::{CleanFeed, FeedSource};
-use spotmarket::{Combo, PriceHistory};
+use spotmarket::{Combo, Price, PriceHistory};
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -158,6 +158,38 @@ impl GraphsResponse {
     }
 }
 
+/// A cheapest-bid quote: the answer to "what is the cheapest market and
+/// maximum bid guaranteeing `duration` seconds at probability `p`?"
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BidQuote {
+    /// The market the bid targets.
+    pub combo: Combo,
+    /// The maximum bid to submit.
+    pub bid: Price,
+    /// Duration the bid guarantees (≥ the requested duration).
+    pub durability_secs: u64,
+    /// Probability level of the guarantee.
+    pub probability: f64,
+    /// True when the quote was computed from a feed past its staleness
+    /// budget: the figures are conservative fallbacks, the durability
+    /// guarantee does **not** stand, and the §4.4 optimizer routes such
+    /// requests to On-demand.
+    pub degraded: bool,
+}
+
+/// One row of the per-combo health rollup served by `/v1/health`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComboHealth {
+    /// The market.
+    pub combo: Combo,
+    /// Its feed health at the queried bucket ([`FeedHealth::Unavailable`]
+    /// when the combo has never served data).
+    pub health: FeedHealth,
+    /// Timestamp of the newest price update backing its graphs (0 when
+    /// no data has ever been served).
+    pub covered_until: u64,
+}
+
 /// Last graphs computed from in-budget data, kept per combo for serving
 /// through feed failures.
 #[derive(Debug, Clone)]
@@ -262,9 +294,75 @@ impl DraftsService {
         lock_clean(&self.last_good).clear();
     }
 
-    /// The combos the service knows about.
+    /// The combos the service knows about, in stable (key) order — so
+    /// every rollup or search over them is deterministic regardless of
+    /// registration order.
     pub fn combos(&self) -> Vec<Combo> {
-        self.feeds.values().map(|f| f.combo()).collect()
+        let mut combos: Vec<Combo> = self.feeds.values().map(|f| f.combo()).collect();
+        combos.sort_by_key(|c| c.key());
+        combos
+    }
+
+    /// The cheapest bid across every registered market guaranteeing
+    /// `duration_secs` at probability `p`, as of `now`.
+    ///
+    /// Guaranteed (Fresh/Stale) responses always win over degraded ones:
+    /// only when **no** registered combo can serve a guaranteed quote does
+    /// the search fall back to no-guarantee fallback graphs, and the
+    /// returned quote is then marked [`BidQuote::degraded`] so clients
+    /// (and the §4.4 optimizer) route to On-demand instead. `None` when no
+    /// combo publishes a qualifying point at all.
+    pub fn cheapest_bid(&self, p: f64, duration_secs: u64, now: u64) -> Option<BidQuote> {
+        let mut best: Option<BidQuote> = None;
+        let mut best_fallback: Option<BidQuote> = None;
+        for combo in self.combos() {
+            let Some(response) = self.fetch(combo, now) else {
+                continue;
+            };
+            let Some(graph) = response.graphs.at_probability(p) else {
+                continue;
+            };
+            let Some(bp) = graph.cheapest_bid(duration_secs) else {
+                continue;
+            };
+            let quote = BidQuote {
+                combo,
+                bid: bp.bid,
+                durability_secs: bp.durability_secs,
+                probability: graph.probability,
+                degraded: !response.is_guaranteed(),
+            };
+            let slot = if quote.degraded {
+                &mut best_fallback
+            } else {
+                &mut best
+            };
+            if slot.is_none_or(|b| quote.bid < b.bid) {
+                *slot = Some(quote);
+            }
+        }
+        best.or(best_fallback)
+    }
+
+    /// Per-combo feed health as of `now`, in stable combo order (the
+    /// `/v1/health` rollup). Combos that have never served data report
+    /// [`FeedHealth::Unavailable`] with `covered_until = 0`.
+    pub fn health_rollup(&self, now: u64) -> Vec<ComboHealth> {
+        self.combos()
+            .into_iter()
+            .map(|combo| match self.fetch(combo, now) {
+                Some(r) => ComboHealth {
+                    combo,
+                    health: r.health,
+                    covered_until: r.covered_until,
+                },
+                None => ComboHealth {
+                    combo,
+                    health: FeedHealth::Unavailable,
+                    covered_until: 0,
+                },
+            })
+            .collect()
     }
 
     /// Number of graph recomputations performed (cache + single-flight
@@ -495,6 +593,157 @@ mod tests {
         assert_eq!(probability_level_bp(0.99), 9900);
         assert_eq!(probability_level_bp(0.95), 9500);
         assert_ne!(probability_level_bp(0.9949), probability_level_bp(0.995));
+    }
+
+    #[test]
+    fn probability_straddling_a_basis_point_rounds_to_the_nearest() {
+        // 0.94995 sits exactly on the half-basis-point boundary: `round`
+        // (half away from zero) sends it to 9500, i.e. the 0.95 level,
+        // while anything strictly below the midpoint stays at 9499.
+        assert_eq!(probability_level_bp(0.94995), 9500);
+        assert_eq!(probability_level_bp(0.95), 9500);
+        assert_eq!(probability_level_bp(0.94994), 9499);
+        assert_eq!(probability_level_bp(0.949949999), 9499);
+        let (svc, combo) = service();
+        let g = svc.graphs(combo, 20 * spotmarket::DAY).unwrap();
+        assert!(g.at_probability(0.94995).is_some(), "rounds up to 0.95");
+        assert!(g.at_probability(0.94994).is_none(), "rounds down to 0.9499");
+    }
+
+    #[test]
+    fn probability_one_is_its_own_level() {
+        assert_eq!(probability_level_bp(1.0), 10_000);
+        assert_ne!(probability_level_bp(1.0), probability_level_bp(0.9999));
+        let (svc, combo) = service();
+        let g = svc.graphs(combo, 20 * spotmarket::DAY).unwrap();
+        // p = 1.0 is never published (QBETS bounds need p < 1); the lookup
+        // must miss cleanly rather than alias the 0.99 level.
+        assert!(g.at_probability(1.0).is_none());
+    }
+
+    #[test]
+    fn duplicate_levels_resolve_to_the_first_published_graph() {
+        // A graph set carrying two graphs at the same basis-point level
+        // (e.g. 0.95 and 0.95004 after rounding) serves the first — the
+        // publication order is authoritative, and the lookup never panics.
+        let (svc, combo) = service();
+        let published = svc.graphs(combo, 20 * spotmarket::DAY).unwrap();
+        let g95 = published.at_probability(0.95).unwrap().clone();
+        let mut dup = g95.clone();
+        dup.probability = 0.95004; // same basis point as 0.95
+        let set = ComboGraphs {
+            graphs: vec![g95.clone(), dup],
+        };
+        let hit = set.at_probability(0.95).unwrap();
+        assert_eq!(hit.probability, 0.95, "first published graph wins");
+        assert_eq!(
+            probability_level_bp(0.95004),
+            probability_level_bp(0.95),
+            "the duplicate really is the same level"
+        );
+    }
+
+    #[test]
+    fn cheapest_bid_searches_all_combos_and_is_minimal() {
+        let cat = Catalog::standard();
+        let cfg = ServiceConfig {
+            drafts: DraftsConfig {
+                changepoint: None,
+                autocorr: false,
+                duration_stride: 6,
+                ..DraftsConfig::default()
+            },
+            ..ServiceConfig::default()
+        };
+        let mut svc = DraftsService::new(cfg);
+        let ty = cat.type_id("c3.4xlarge").unwrap();
+        for az in ["us-east-1b", "us-east-1c", "us-east-1d"] {
+            let combo = Combo::new(Az::parse(az).unwrap(), ty);
+            svc.register(generate_with_archetype(
+                combo,
+                cat,
+                &TraceConfig::days(30, 55),
+                Archetype::Choppy,
+            ));
+        }
+        let now = 20 * spotmarket::DAY;
+        let quote = svc.cheapest_bid(0.95, 3600, now).expect("quote");
+        assert!(!quote.degraded);
+        assert!(quote.durability_secs >= 3600);
+        for combo in svc.combos() {
+            let Some(bp) = svc
+                .graphs(combo, now)
+                .and_then(|g| g.at_probability(0.95).and_then(|g| g.cheapest_bid(3600)))
+            else {
+                continue;
+            };
+            assert!(quote.bid <= bp.bid, "{combo:?} quotes cheaper");
+        }
+        assert!(
+            svc.cheapest_bid(0.95, u64::MAX, now).is_none(),
+            "impossible durations quote nothing"
+        );
+    }
+
+    #[test]
+    fn cheapest_bid_past_budget_is_an_explicit_degraded_quote() {
+        // A feed deep into an outage serves no-guarantee fallbacks; the
+        // service still quotes, but the quote says so.
+        let (_, combo) = service();
+        let truth = Arc::new(history_for(combo, 55));
+        let day20 = 20 * spotmarket::DAY;
+        struct DownAfter {
+            inner: CleanFeed,
+            from: u64,
+        }
+        impl FeedSource for DownAfter {
+            fn combo(&self) -> Combo {
+                self.inner.combo()
+            }
+            fn poll(
+                &self,
+                now: u64,
+                attempt: u32,
+            ) -> Result<Arc<PriceHistory>, FeedError> {
+                if now >= self.from {
+                    Err(FeedError::Outage { until: u64::MAX })
+                } else {
+                    self.inner.poll(now, attempt)
+                }
+            }
+        }
+        let cfg = ServiceConfig {
+            drafts: DraftsConfig {
+                changepoint: None,
+                autocorr: false,
+                duration_stride: 4,
+                ..DraftsConfig::default()
+            },
+            ..ServiceConfig::default()
+        };
+        let mut svc = DraftsService::new(cfg);
+        svc.register_feed(Arc::new(DownAfter {
+            inner: CleanFeed::new(truth),
+            from: day20,
+        }));
+        // Prime last-good, then query far past the staleness budget.
+        let fresh = svc.cheapest_bid(0.95, 3600, day20 - MINUTE).unwrap();
+        assert!(!fresh.degraded);
+        let stale = svc.cheapest_bid(0.95, 3600, day20 + spotmarket::DAY).unwrap();
+        assert!(stale.degraded, "past-budget quotes must self-identify");
+    }
+
+    #[test]
+    fn health_rollup_reports_every_combo_in_stable_order() {
+        let (svc, combo) = service();
+        let rollup = svc.health_rollup(20 * spotmarket::DAY);
+        assert_eq!(rollup.len(), 1);
+        assert_eq!(rollup[0].combo, combo);
+        assert_eq!(rollup[0].health, FeedHealth::Fresh);
+        let keys: Vec<u64> = svc.combos().iter().map(|c| c.key()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "combos() must be key-ordered");
     }
 
     #[test]

@@ -4,14 +4,20 @@
 //! repro <experiment> [--quick]
 //! experiment: table1 | figure1 | figure2 | figure3 | figure4
 //!           | table2 | table3 | table4 | table5 | tightness
-//!           | reflexivity | faults | all
+//!           | reflexivity | faults | serve | all
+//!
+//! `serve` boots the drafts-serve HTTP layer on an ephemeral loopback
+//! port and replays the seeded loadgen workload against it. It is not
+//! part of `all`: its wall-clock half depends on the machine.
 //! ```
 //!
 //! Artifacts (rendered tables + CSV series) land in `results/` (override
 //! with `DRAFTS_RESULTS_DIR`).
 
 use experiments::common::{self, Scale};
-use experiments::{faults, figure1, figure4, launch, reflexivity, table1, table2, table3, table45};
+use experiments::{
+    faults, figure1, figure4, launch, reflexivity, serve, table1, table2, table3, table45,
+};
 use std::time::Instant;
 
 fn main() {
@@ -39,6 +45,7 @@ fn main() {
         "tightness" => run_tightness(scale),
         "reflexivity" => run_reflexivity(),
         "faults" => run_faults(scale),
+        "serve" => run_serve(scale),
         "all" => {
             run_table1_figure1_table4(scale);
             run_table45(scale, 5);
@@ -53,7 +60,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown experiment '{other}'; expected table1|figure1|figure2|figure3|\
-                 figure4|table2|table3|table4|table5|tightness|reflexivity|faults|all"
+                 figure4|table2|table3|table4|table5|tightness|reflexivity|faults|serve|all"
             );
             std::process::exit(2);
         }
@@ -169,6 +176,15 @@ fn run_faults(scale: Scale) {
         "wrote {}",
         common::display(&common::results_dir().join("faults.csv"))
     );
+}
+
+fn run_serve(scale: Scale) {
+    let out = serve::run(scale);
+    print!("{}", serve::summarize(&out));
+    let det = common::write_artifact("serve.csv", &serve::deterministic_csv(&out));
+    let lat = common::write_artifact("serve_latency.csv", &serve::latency_csv(&out));
+    eprintln!("wrote {}", common::display(&det));
+    eprintln!("wrote {}", common::display(&lat));
 }
 
 fn run_table3(scale: Scale) {

@@ -20,6 +20,7 @@
 //! | `tightness` | bid/price ratio ablation (tech report) | [`table45`] |
 //! | `reflexivity` | SS6 future work: adoption feedback      | [`reflexivity`] |
 //! | `faults`  | feed-fault degradation sweep (robustness) | [`faults`] |
+//! | `serve`   | serving-layer throughput/latency smoke    | [`serve`] |
 
 pub mod common;
 pub mod faults;
@@ -27,6 +28,7 @@ pub mod figure1;
 pub mod figure4;
 pub mod launch;
 pub mod reflexivity;
+pub mod serve;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -1,0 +1,471 @@
+//! Seeded open-loop traffic harness for drafts-serve.
+//!
+//! The harness is two halves with a deliberate determinism boundary:
+//!
+//! * The **plan** ([`build_plan`]) is a pure function of `(seed, config)`:
+//!   an open-loop Poisson arrival schedule whose requests replay the
+//!   paper's Table 1 request population (per-combo durations from
+//!   [`backtest::request::generate`], the §4.1 "uniform between 0 and 12
+//!   hours" draw) as `/v1/bid` lookups, mixed with `/v1/graphs` and
+//!   `/v1/health` probes.
+//! * The **run** ([`run`]) replays the plan against a live server with
+//!   keep-alive client threads. Response *contents* are deterministic
+//!   (virtual time; the report captures counts, body bytes and an
+//!   order-independent checksum), while *latency* is wall clock and is
+//!   quarantined into a [`bench::timing::LogHistogram`] so the
+//!   deterministic half of the report can be byte-diffed in CI.
+//!
+//! Open loop means arrival times are fixed ahead of the run: a slow
+//! server does not slow the arrival process down, it just accumulates
+//! in-flight work — the standard way to make load shedding observable.
+
+use bench::timing::LogHistogram;
+use simrng::dist::{Categorical, Exponential};
+use simrng::{Rng, StreamFactory};
+use spotmarket::{Catalog, Combo};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// What a planned request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// `/v1/graphs/...` for one combo.
+    Graphs,
+    /// `/v1/bid?...` across all combos.
+    Bid,
+    /// `/v1/health`.
+    Health,
+}
+
+impl Kind {
+    /// Stable label used in the run report.
+    pub fn label(self) -> &'static str {
+        match self {
+            Kind::Graphs => "graphs",
+            Kind::Bid => "bid",
+            Kind::Health => "health",
+        }
+    }
+}
+
+/// One planned request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Planned {
+    /// Offset from the run start at which this request is *issued*.
+    pub at: Duration,
+    /// Request kind (for per-route accounting).
+    pub kind: Kind,
+    /// Request target, e.g. `/v1/bid?duration=3600&p=0.95`.
+    pub path: String,
+}
+
+/// Workload parameters.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Total requests to issue.
+    pub requests: usize,
+    /// Open-loop arrival rate, requests per second.
+    pub rate_per_sec: f64,
+    /// Concurrent keep-alive client connections; planned requests are
+    /// dealt round-robin across them.
+    pub clients: usize,
+    /// Combos the workload draws graphs/durations from.
+    pub combos: Vec<Combo>,
+    /// Probability level baked into bid/graphs queries.
+    pub p: f64,
+    /// Route mix weights `[graphs, bid, health]`.
+    pub mix: [f64; 3],
+}
+
+impl WorkloadConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics on an empty population, zero clients/requests or a
+    /// non-positive rate.
+    pub fn validate(&self) {
+        assert!(self.requests > 0, "need at least one request");
+        assert!(self.clients > 0, "need at least one client");
+        assert!(self.rate_per_sec > 0.0, "non-positive arrival rate");
+        assert!(!self.combos.is_empty(), "empty combo population");
+        assert!(self.p > 0.0 && self.p <= 1.0, "p out of range");
+    }
+}
+
+/// Builds the deterministic request plan: a pure function of
+/// `(factory root, config)`, sorted by arrival offset.
+pub fn build_plan(
+    cfg: &WorkloadConfig,
+    factory: &StreamFactory,
+    catalog: &Catalog,
+) -> Vec<Planned> {
+    cfg.validate();
+    // Durations replay the Table 1 population: 0–12 h uniform per combo.
+    // The window only feeds start times, which the Poisson arrival
+    // process below supersedes; any non-empty window works.
+    let duration_cfg = backtest::request::RequestConfig {
+        count: cfg.requests.div_ceil(cfg.combos.len()).max(1),
+        window_start: 0,
+        window_end: 2,
+        max_duration: 12 * 3600,
+    };
+    let durations: Vec<Vec<u64>> = cfg
+        .combos
+        .iter()
+        .map(|&combo| {
+            backtest::request::generate(&duration_cfg, factory, combo)
+                .into_iter()
+                .map(|r| r.duration)
+                .collect()
+        })
+        .collect();
+
+    let mix = Categorical::new(&cfg.mix).expect("route mix weights");
+    let gap = Exponential::new(cfg.rate_per_sec).expect("arrival rate");
+    let mut arrivals = factory.stream_named("loadgen-arrivals");
+    let mut routes = factory.stream_named("loadgen-routes");
+    let mut picks = factory.stream_named("loadgen-picks");
+
+    let mut t = 0.0f64;
+    let mut per_combo_cursor = vec![0usize; cfg.combos.len()];
+    (0..cfg.requests)
+        .map(|_| {
+            t += gap.sample(&mut arrivals);
+            let combo_ix = picks.next_below(cfg.combos.len() as u64) as usize;
+            let combo = cfg.combos[combo_ix];
+            let (kind, path) = match mix.sample(&mut routes) {
+                0 => {
+                    let az = combo.az;
+                    (
+                        Kind::Graphs,
+                        format!(
+                            "/v1/graphs/{}/{}/{}?p={}",
+                            az.region().name(),
+                            az.name(),
+                            catalog.spec(combo.ty).name,
+                            cfg.p
+                        ),
+                    )
+                }
+                1 => {
+                    let ds = &durations[combo_ix];
+                    let d = ds[per_combo_cursor[combo_ix] % ds.len()];
+                    per_combo_cursor[combo_ix] += 1;
+                    (
+                        Kind::Bid,
+                        format!("/v1/bid?duration={d}&p={}", cfg.p),
+                    )
+                }
+                _ => (Kind::Health, "/v1/health".to_string()),
+            };
+            Planned {
+                at: Duration::from_secs_f64(t),
+                kind,
+                path,
+            }
+        })
+        .collect()
+}
+
+/// FNV-1a 64-bit.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One response as the client observed it.
+#[derive(Debug, Clone, Copy)]
+struct Observation {
+    kind: Kind,
+    status: u16,
+    body_len: u64,
+    digest: u64,
+    latency: Duration,
+}
+
+/// Per-route deterministic tallies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouteTally {
+    /// Requests issued on the route.
+    pub requests: u64,
+    /// 200 responses.
+    pub ok: u64,
+    /// Total body bytes across responses.
+    pub body_bytes: u64,
+    /// Order-independent checksum: wrapping sum of per-response FNV-1a
+    /// digests over `status || body`.
+    pub checksum: u64,
+}
+
+/// What a run produced.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Deterministic per-route tallies, keyed by [`Kind::label`].
+    pub routes: BTreeMap<&'static str, RouteTally>,
+    /// Responses that were not 200 (shed 503s land here).
+    pub non_ok: u64,
+    /// Wall-clock run duration.
+    pub elapsed: Duration,
+    /// Latency distribution (wall clock — NOT deterministic).
+    pub latency: LogHistogram,
+}
+
+impl RunReport {
+    /// Requests completed across all routes.
+    pub fn total(&self) -> u64 {
+        self.routes.values().map(|t| t.requests).sum()
+    }
+
+    /// Completed-request throughput in requests/second.
+    pub fn throughput(&self) -> f64 {
+        self.total() as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// A minimal keep-alive HTTP/1.1 client over one TCP connection.
+///
+/// Reconnects transparently when the server closes the connection (drain,
+/// per-connection request budget, or a shed 503 with `Connection:
+/// close`).
+pub struct Client {
+    addr: SocketAddr,
+    conn: Option<BufReader<TcpStream>>,
+    timeout: Duration,
+}
+
+impl Client {
+    /// A client for `addr`.
+    pub fn new(addr: SocketAddr, timeout: Duration) -> Self {
+        Client {
+            addr,
+            conn: None,
+            timeout,
+        }
+    }
+
+    fn connect(&mut self) -> std::io::Result<&mut BufReader<TcpStream>> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_read_timeout(Some(self.timeout))?;
+            stream.set_write_timeout(Some(self.timeout))?;
+            stream.set_nodelay(true)?;
+            self.conn = Some(BufReader::new(stream));
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    /// Issues `GET path`, returning `(status, body)`. Retries once on a
+    /// torn connection (the server may close a keep-alive socket between
+    /// our requests).
+    pub fn get(&mut self, path: &str) -> std::io::Result<(u16, Vec<u8>)> {
+        match self.roundtrip(path) {
+            Ok(resp) => Ok(resp),
+            Err(_) => {
+                self.conn = None;
+                self.roundtrip(path)
+            }
+        }
+    }
+
+    fn roundtrip(&mut self, path: &str) -> std::io::Result<(u16, Vec<u8>)> {
+        let reader = self.connect()?;
+        let req = format!("GET {path} HTTP/1.1\r\nHost: drafts\r\n\r\n");
+        reader.get_mut().write_all(req.as_bytes())?;
+
+        let mut status_line = String::new();
+        if reader.read_line(&mut status_line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed before status line",
+            ));
+        }
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line")
+            })?;
+
+        let mut content_length = 0usize;
+        let mut close = false;
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed mid-headers",
+                ));
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                let value = value.trim();
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.parse().map_err(|_| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            "bad content-length",
+                        )
+                    })?;
+                } else if name.eq_ignore_ascii_case("connection")
+                    && value.eq_ignore_ascii_case("close")
+                {
+                    close = true;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body)?;
+        if close {
+            self.conn = None;
+        }
+        Ok((status, body))
+    }
+}
+
+/// Replays `plan` against `addr` with `clients` open-loop threads and
+/// aggregates the report.
+pub fn run(addr: SocketAddr, plan: &[Planned], clients: usize, timeout: Duration) -> RunReport {
+    assert!(clients > 0, "need at least one client");
+    let started = Instant::now();
+    let observations: Mutex<Vec<Observation>> = Mutex::new(Vec::with_capacity(plan.len()));
+
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let observations = &observations;
+            let slice: Vec<&Planned> = plan.iter().skip(c).step_by(clients).collect();
+            scope.spawn(move || {
+                let mut client = Client::new(addr, timeout);
+                let mut local = Vec::with_capacity(slice.len());
+                for planned in slice {
+                    // Open loop: wait out the schedule, not the server.
+                    if let Some(wait) = planned.at.checked_sub(started.elapsed()) {
+                        std::thread::sleep(wait);
+                    }
+                    let issued = Instant::now();
+                    let Ok((status, body)) = client.get(&planned.path) else {
+                        continue;
+                    };
+                    let mut seed = Vec::with_capacity(body.len() + 2);
+                    seed.extend_from_slice(&status.to_be_bytes());
+                    seed.extend_from_slice(&body);
+                    local.push(Observation {
+                        kind: planned.kind,
+                        status,
+                        body_len: body.len() as u64,
+                        digest: fnv1a(&seed),
+                        latency: issued.elapsed(),
+                    });
+                }
+                observations
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .extend(local);
+            });
+        }
+    });
+
+    let elapsed = started.elapsed();
+    let mut routes: BTreeMap<&'static str, RouteTally> = BTreeMap::new();
+    for kind in [Kind::Graphs, Kind::Bid, Kind::Health] {
+        routes.insert(kind.label(), RouteTally::default());
+    }
+    let mut latency = LogHistogram::new();
+    let mut non_ok = 0u64;
+    for obs in observations.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        let tally = routes.entry(obs.kind.label()).or_default();
+        tally.requests += 1;
+        tally.body_bytes += obs.body_len;
+        tally.checksum = tally.checksum.wrapping_add(obs.digest);
+        if obs.status == 200 {
+            tally.ok += 1;
+        } else {
+            non_ok += 1;
+        }
+        latency.record(obs.latency);
+    }
+    RunReport {
+        routes,
+        non_ok,
+        elapsed,
+        latency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotmarket::Az;
+
+    fn config() -> WorkloadConfig {
+        let catalog = Catalog::standard();
+        WorkloadConfig {
+            requests: 200,
+            rate_per_sec: 1000.0,
+            clients: 4,
+            combos: vec![
+                Combo::new(
+                    Az::parse("us-east-1c").unwrap(),
+                    catalog.type_id("c3.4xlarge").unwrap(),
+                ),
+                Combo::new(
+                    Az::parse("us-west-2a").unwrap(),
+                    catalog.type_id("c4.large").unwrap(),
+                ),
+            ],
+            p: 0.95,
+            mix: [0.4, 0.5, 0.1],
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic_in_seed_and_config() {
+        let catalog = Catalog::standard();
+        let a = build_plan(&config(), &StreamFactory::new(1234), catalog);
+        let b = build_plan(&config(), &StreamFactory::new(1234), catalog);
+        assert_eq!(a, b);
+        let c = build_plan(&config(), &StreamFactory::new(1235), catalog);
+        assert_ne!(a, c, "different seeds give different plans");
+    }
+
+    #[test]
+    fn plan_arrivals_are_sorted_and_open_loop_rate_is_plausible() {
+        let catalog = Catalog::standard();
+        let plan = build_plan(&config(), &StreamFactory::new(7), catalog);
+        assert_eq!(plan.len(), 200);
+        assert!(plan.windows(2).all(|w| w[0].at <= w[1].at));
+        // 200 requests at 1000/s should land in the ballpark of 0.2 s.
+        let span = plan.last().unwrap().at.as_secs_f64();
+        assert!(span > 0.05 && span < 1.0, "span {span}");
+    }
+
+    #[test]
+    fn plan_covers_every_route_kind() {
+        let catalog = Catalog::standard();
+        let plan = build_plan(&config(), &StreamFactory::new(7), catalog);
+        for kind in [Kind::Graphs, Kind::Bid, Kind::Health] {
+            assert!(plan.iter().any(|p| p.kind == kind), "{kind:?} missing");
+        }
+        assert!(plan
+            .iter()
+            .filter(|p| p.kind == Kind::Bid)
+            .all(|p| p.path.starts_with("/v1/bid?duration=")));
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pinned test vectors (FNV-1a 64).
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

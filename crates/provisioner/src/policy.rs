@@ -101,7 +101,7 @@ pub fn plan(
                     let Some(graph) = response.graphs.at_probability(target_p) else {
                         continue;
                     };
-                    let Some(bp) = graph.bid_for_duration(required) else {
+                    let Some(bp) = graph.cheapest_bid(required) else {
                         continue;
                     };
                     let better = best.is_none_or(|b| bp.bid < b.bid);

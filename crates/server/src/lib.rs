@@ -1,0 +1,41 @@
+//! drafts-serve: a std-only HTTP/1.1 front-end over [`DraftsService`].
+//!
+//! The serving layer turns the bucket-cached predictor service into a
+//! network API without leaving the hermetic workspace: raw
+//! `std::net::TcpListener`, an in-repo JSON writer/reader, and a small
+//! fixed worker pool behind a bounded admission queue.
+//!
+//! Routes (all `GET`):
+//!
+//! | route | body |
+//! |---|---|
+//! | `/v1/graphs/{region}/{az}/{type}?p=0.95` | published bid–duration graphs for one combo |
+//! | `/v1/bid?duration=SECS&p=0.95` | cheapest guaranteed bid across all combos |
+//! | `/v1/health` | per-combo [`drafts_core::service::FeedHealth`] rollup |
+//! | `/v1/metrics` | text counter exposition |
+//!
+//! Responses are **byte-deterministic** for a fixed service seed and
+//! request: the service runs on virtual time (`?now=` overrides the
+//! configured default), headers are emitted in a fixed order with no
+//! `Date`, and JSON objects preserve insertion order.
+//!
+//! Degraded feeds are explicit, never silent: quotes and graph documents
+//! carry `degraded: true` whenever the backing feed is past its staleness
+//! budget (PR 3 semantics), so clients can route such work to On-demand
+//! as §4.4 of the paper prescribes.
+//!
+//! [`DraftsService`]: drafts_core::DraftsService
+
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod router;
+pub mod server;
+pub mod wire;
+
+pub use http::{Request, Response};
+pub use json::Json;
+pub use metrics::{Metrics, Route};
+pub use router::Router;
+pub use server::{DrainReport, Server, ServerConfig};
+pub use wire::{BidQuoteWire, HealthCountsWire};

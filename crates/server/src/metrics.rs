@@ -1,0 +1,165 @@
+//! Server counters and the `/v1/metrics` text exposition.
+//!
+//! Plain atomics — the counters are monotone and independently updated,
+//! so relaxed ordering is sufficient everywhere. The exposition format is
+//! the usual `name{label="value"} count` text form, rendered in a fixed
+//! order so the output is a pure function of the counter values.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The routes the server distinguishes in its counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// `GET /v1/graphs/...`
+    Graphs,
+    /// `GET /v1/bid`
+    Bid,
+    /// `GET /v1/health`
+    Health,
+    /// `GET /v1/metrics`
+    Metrics,
+    /// Anything else (404s, debug routes).
+    Other,
+}
+
+impl Route {
+    /// All routes in exposition order.
+    pub const ALL: [Route; 5] = [
+        Route::Graphs,
+        Route::Bid,
+        Route::Health,
+        Route::Metrics,
+        Route::Other,
+    ];
+
+    /// Label used in the exposition.
+    pub fn label(self) -> &'static str {
+        match self {
+            Route::Graphs => "graphs",
+            Route::Bid => "bid",
+            Route::Health => "health",
+            Route::Metrics => "metrics",
+            Route::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Route::Graphs => 0,
+            Route::Bid => 1,
+            Route::Health => 2,
+            Route::Metrics => 3,
+            Route::Other => 4,
+        }
+    }
+}
+
+/// Shared server counters.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Accepted connections handed to the worker pool.
+    pub connections: AtomicU64,
+    /// Connections refused with 503 because the accept queue was full.
+    pub shed: AtomicU64,
+    /// Requests served, by route.
+    requests: [AtomicU64; 5],
+    /// Responses by status class.
+    pub status_2xx: AtomicU64,
+    /// 4xx responses.
+    pub status_4xx: AtomicU64,
+    /// 5xx responses.
+    pub status_5xx: AtomicU64,
+    /// Handler panics converted to 500s (the worker survives).
+    pub handler_panics: AtomicU64,
+    /// Requests whose quote was served from a degraded (no-guarantee)
+    /// feed.
+    pub degraded_quotes: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one request on `route`.
+    pub fn count_request(&self, route: Route) {
+        self.requests[route.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests served on `route`.
+    pub fn requests(&self, route: Route) -> u64 {
+        self.requests[route.index()].load(Ordering::Relaxed)
+    }
+
+    /// Counts one response with `status`.
+    pub fn count_status(&self, status: u16) {
+        let slot = match status {
+            200..=299 => &self.status_2xx,
+            400..=499 => &self.status_4xx,
+            _ => &self.status_5xx,
+        };
+        slot.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests across every route.
+    pub fn total_requests(&self) -> u64 {
+        Route::ALL.iter().map(|&r| self.requests(r)).sum()
+    }
+
+    /// Renders the text exposition served at `/v1/metrics`.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for route in Route::ALL {
+            out.push_str(&format!(
+                "drafts_requests_total{{route=\"{}\"}} {}\n",
+                route.label(),
+                self.requests(route)
+            ));
+        }
+        let gauges: [(&str, &AtomicU64); 7] = [
+            ("drafts_connections_total", &self.connections),
+            ("drafts_shed_total", &self.shed),
+            ("drafts_responses_2xx_total", &self.status_2xx),
+            ("drafts_responses_4xx_total", &self.status_4xx),
+            ("drafts_responses_5xx_total", &self.status_5xx),
+            ("drafts_handler_panics_total", &self.handler_panics),
+            ("drafts_degraded_quotes_total", &self.degraded_quotes),
+        ];
+        for (name, counter) in gauges {
+            out.push_str(&format!("{name} {}\n", counter.load(Ordering::Relaxed)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_render_in_fixed_order() {
+        let m = Metrics::new();
+        m.count_request(Route::Graphs);
+        m.count_request(Route::Graphs);
+        m.count_request(Route::Bid);
+        m.count_status(200);
+        m.count_status(404);
+        m.count_status(503);
+        assert_eq!(m.requests(Route::Graphs), 2);
+        assert_eq!(m.total_requests(), 3);
+        let text = m.render_text();
+        assert!(text.contains("drafts_requests_total{route=\"graphs\"} 2\n"));
+        assert!(text.contains("drafts_requests_total{route=\"bid\"} 1\n"));
+        assert!(text.contains("drafts_responses_2xx_total 1\n"));
+        assert!(text.contains("drafts_responses_4xx_total 1\n"));
+        assert!(text.contains("drafts_responses_5xx_total 1\n"));
+        // Deterministic: two renders are byte-identical.
+        assert_eq!(text, m.render_text());
+        // Fixed order: graphs before bid before health.
+        let g = text.find("route=\"graphs\"").unwrap();
+        let b = text.find("route=\"bid\"").unwrap();
+        let h = text.find("route=\"health\"").unwrap();
+        assert!(g < b && b < h);
+    }
+}

@@ -1,0 +1,351 @@
+//! Route dispatch: maps parsed requests onto [`DraftsService`] queries.
+//!
+//! Routes (all GET):
+//!
+//! * `/v1/graphs/{region}/{az}/{type}?p=0.95&now=SECS` — the published
+//!   bid–duration graphs for one market (all levels unless `p` selects
+//!   one, matched at basis-point resolution).
+//! * `/v1/bid?duration=SECS&p=0.95&now=SECS` — the cheapest bid across
+//!   every registered market guaranteeing `duration`; degraded feeds
+//!   surface as explicit `degraded: true` quotes.
+//! * `/v1/health?now=SECS` — the per-combo [`FeedHealth`] rollup.
+//! * `/v1/metrics` — counter text exposition.
+//!
+//! The service clock is **virtual** (the underlying service is
+//! bucket-cached simulation time): `now` defaults to the configured
+//! serving time and may be overridden per request, which is what makes
+//! responses a pure function of `(seed, request)` — the property the
+//! determinism tests byte-diff.
+
+use crate::http::{Request, Response};
+use crate::metrics::{Metrics, Route};
+use crate::{json::Json, wire};
+use drafts_core::DraftsService;
+use spotmarket::{Az, Catalog, Combo};
+use std::sync::Arc;
+
+/// The dispatcher shared by every worker.
+pub struct Router {
+    service: Arc<DraftsService>,
+    catalog: &'static Catalog,
+    /// Serving time used when a request carries no `now` override.
+    default_now: u64,
+    /// Default probability for `/v1/bid` when `p` is absent.
+    default_p: f64,
+    /// Enables `/v1/_debug/panic` (stress tests only).
+    debug_routes: bool,
+}
+
+impl Router {
+    /// Creates a router over `service`.
+    pub fn new(service: Arc<DraftsService>, default_now: u64) -> Router {
+        Router {
+            service,
+            catalog: Catalog::standard(),
+            default_now,
+            default_p: 0.95,
+            debug_routes: false,
+        }
+    }
+
+    /// Enables the debug routes (`/v1/_debug/panic`).
+    pub fn with_debug_routes(mut self) -> Router {
+        self.debug_routes = true;
+        self
+    }
+
+    /// The wrapped service.
+    pub fn service(&self) -> &Arc<DraftsService> {
+        &self.service
+    }
+
+    /// Classifies a path for metrics purposes.
+    pub fn route_of(path: &str) -> Route {
+        if path.starts_with("/v1/graphs/") {
+            Route::Graphs
+        } else {
+            match path {
+                "/v1/bid" => Route::Bid,
+                "/v1/health" => Route::Health,
+                "/v1/metrics" => Route::Metrics,
+                _ => Route::Other,
+            }
+        }
+    }
+
+    /// Handles one request. Never blocks on anything but the service's
+    /// own single-flight computation; may panic only on internal bugs
+    /// (the worker catches and converts those to 500s).
+    pub fn handle(&self, req: &Request, metrics: &Metrics) -> Response {
+        let route = Self::route_of(&req.path);
+        metrics.count_request(route);
+        if req.method != "GET" {
+            return Response::error(405, "only GET is supported");
+        }
+        match route {
+            Route::Graphs => self.graphs(req),
+            Route::Bid => self.bid(req, metrics),
+            Route::Health => self.health(req),
+            Route::Metrics => Response::text(200, metrics.render_text()),
+            Route::Other => {
+                if self.debug_routes && req.path == "/v1/_debug/panic" {
+                    panic!("debug panic route hit");
+                }
+                Response::error(404, "no such route")
+            }
+        }
+    }
+
+    fn now_of(&self, req: &Request) -> Result<u64, Response> {
+        match req.query_param("now") {
+            None => Ok(self.default_now),
+            Some(v) => v
+                .parse::<u64>()
+                .map_err(|_| Response::error(400, "now must be an integer")),
+        }
+    }
+
+    fn graphs(&self, req: &Request) -> Response {
+        // /v1/graphs/{region}/{az}/{type}
+        let mut segments = req.path["/v1/graphs/".len()..].split('/');
+        let (Some(region), Some(az), Some(ty), None) = (
+            segments.next(),
+            segments.next(),
+            segments.next(),
+            segments.next(),
+        ) else {
+            return Response::error(400, "expected /v1/graphs/{region}/{az}/{type}");
+        };
+        let Some(az) = Az::parse(az) else {
+            return Response::error(404, "unknown availability zone");
+        };
+        if az.region().name() != region {
+            return Response::error(400, "az does not belong to region");
+        }
+        let Some(ty) = self.catalog.type_id(ty) else {
+            return Response::error(404, "unknown instance type");
+        };
+        let now = match self.now_of(req) {
+            Ok(n) => n,
+            Err(resp) => return resp,
+        };
+        let combo = Combo::new(az, ty);
+        let Some(response) = self.service.fetch(combo, now) else {
+            return Response::error(404, "no graphs published for this market");
+        };
+        let graphs: Vec<_> = match req.query_param("p") {
+            None => response.graphs.graphs.iter().collect(),
+            Some(v) => {
+                let Ok(p) = v.parse::<f64>() else {
+                    return Response::error(400, "p must be a number");
+                };
+                match response.graphs.at_probability(p) {
+                    Some(g) => vec![g],
+                    None => {
+                        return Response::error(404, "probability level not published")
+                    }
+                }
+            }
+        };
+        Response::json(
+            200,
+            wire::graphs_json(self.catalog, combo, &response, &graphs).render(),
+        )
+    }
+
+    fn bid(&self, req: &Request, metrics: &Metrics) -> Response {
+        let Some(duration) = req.query_param("duration") else {
+            return Response::error(400, "duration query parameter is required");
+        };
+        let Ok(duration) = duration.parse::<u64>() else {
+            return Response::error(400, "duration must be an integer");
+        };
+        let p = match req.query_param("p") {
+            None => self.default_p,
+            Some(v) => match v.parse::<f64>() {
+                Ok(p) if p > 0.0 && p <= 1.0 => p,
+                _ => return Response::error(400, "p must be in (0, 1]"),
+            },
+        };
+        let now = match self.now_of(req) {
+            Ok(n) => n,
+            Err(resp) => return resp,
+        };
+        match self.service.cheapest_bid(p, duration, now) {
+            Some(quote) => {
+                if quote.degraded {
+                    metrics
+                        .degraded_quotes
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+                Response::json(200, wire::bid_quote_json(self.catalog, &quote).render())
+            }
+            None => Response::json(
+                404,
+                Json::obj(vec![
+                    ("error", Json::str("no market guarantees this duration")),
+                    ("duration", Json::num_u64(duration)),
+                    ("p", Json::num(p)),
+                ])
+                .render(),
+            ),
+        }
+    }
+
+    fn health(&self, req: &Request) -> Response {
+        let now = match self.now_of(req) {
+            Ok(n) => n,
+            Err(resp) => return resp,
+        };
+        let rollup = self.service.health_rollup(now);
+        Response::json(200, wire::health_json(self.catalog, &rollup).render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drafts_core::predictor::DraftsConfig;
+    use drafts_core::service::ServiceConfig;
+    use spotmarket::archetype::Archetype;
+    use spotmarket::tracegen::{generate_with_archetype, TraceConfig};
+    use spotmarket::DAY;
+
+    fn router() -> Router {
+        let catalog = Catalog::standard();
+        let mut svc = DraftsService::new(ServiceConfig {
+            drafts: DraftsConfig {
+                changepoint: None,
+                autocorr: false,
+                duration_stride: 6,
+                ..DraftsConfig::default()
+            },
+            ..ServiceConfig::default()
+        });
+        let combo = Combo::new(
+            Az::parse("us-east-1c").unwrap(),
+            catalog.type_id("c3.4xlarge").unwrap(),
+        );
+        svc.register(generate_with_archetype(
+            combo,
+            catalog,
+            &TraceConfig::days(30, 55),
+            Archetype::Choppy,
+        ));
+        Router::new(Arc::new(svc), 20 * DAY)
+    }
+
+    fn get(router: &Router, target: &str) -> (u16, Json) {
+        let raw = format!("GET {target} HTTP/1.1\r\n\r\n");
+        let req = crate::http::read_request(&mut std::io::BufReader::new(raw.as_bytes()))
+            .unwrap();
+        let metrics = Metrics::new();
+        let resp = router.handle(&req, &metrics);
+        let body = String::from_utf8(resp.body.clone()).unwrap();
+        let json = if resp.content_type.starts_with("application/json") {
+            Json::parse(&body).unwrap()
+        } else {
+            Json::Str(body)
+        };
+        (resp.status, json)
+    }
+
+    #[test]
+    fn graphs_route_serves_published_levels_and_filters_on_p() {
+        let r = router();
+        let (status, doc) = get(&r, "/v1/graphs/us-east-1/us-east-1c/c3.4xlarge");
+        assert_eq!(status, 200);
+        assert_eq!(doc.get("state").unwrap().as_str(), Some("fresh"));
+        assert_eq!(doc.get("degraded").unwrap().as_bool(), Some(false));
+        // Unfiltered: every level the service published (at this fixture
+        // only 0.95 compiles; 0.99 needs a longer duration series).
+        let all = doc.get("graphs").unwrap().as_arr().unwrap().len();
+        assert!(all >= 1, "no graphs published");
+        let (status, doc) =
+            get(&r, "/v1/graphs/us-east-1/us-east-1c/c3.4xlarge?p=0.95");
+        assert_eq!(status, 200);
+        let graphs = doc.get("graphs").unwrap().as_arr().unwrap();
+        assert_eq!(graphs.len(), 1, "p filter selects exactly one level");
+        assert_eq!(graphs[0].get("p").unwrap().as_f64(), Some(0.95));
+        assert!(!graphs[0].get("points").unwrap().as_arr().unwrap().is_empty());
+    }
+
+    #[test]
+    fn graphs_route_rejects_bad_markets() {
+        let r = router();
+        assert_eq!(get(&r, "/v1/graphs/us-east-1/us-east-1c").0, 400);
+        assert_eq!(get(&r, "/v1/graphs/us-west-1/us-east-1c/c3.4xlarge").0, 400);
+        assert_eq!(get(&r, "/v1/graphs/us-east-1/us-east-1z/c3.4xlarge").0, 404);
+        assert_eq!(get(&r, "/v1/graphs/us-east-1/us-east-1c/z9.mega").0, 404);
+        // Known market, but the service has no feed registered for it.
+        assert_eq!(get(&r, "/v1/graphs/us-east-1/us-east-1b/c3.4xlarge").0, 404);
+        // Unpublished probability level.
+        assert_eq!(
+            get(&r, "/v1/graphs/us-east-1/us-east-1c/c3.4xlarge?p=0.5").0,
+            404
+        );
+    }
+
+    #[test]
+    fn bid_route_quotes_and_validates() {
+        let r = router();
+        let (status, doc) = get(&r, "/v1/bid?duration=3600&p=0.95");
+        assert_eq!(status, 200);
+        assert_eq!(doc.get("az").unwrap().as_str(), Some("us-east-1c"));
+        assert!(doc.get("durability_secs").unwrap().as_u64().unwrap() >= 3600);
+        assert_eq!(doc.get("degraded").unwrap().as_bool(), Some(false));
+        assert_eq!(get(&r, "/v1/bid?p=0.95").0, 400, "duration required");
+        assert_eq!(get(&r, "/v1/bid?duration=x").0, 400);
+        assert_eq!(get(&r, "/v1/bid?duration=3600&p=1.5").0, 400);
+        assert_eq!(get(&r, "/v1/bid?duration=3600&now=abc").0, 400);
+        let (status, _) = get(&r, "/v1/bid?duration=999999999");
+        assert_eq!(status, 404, "impossible duration quotes nothing");
+    }
+
+    #[test]
+    fn health_and_metrics_routes_respond() {
+        let r = router();
+        let (status, doc) = get(&r, "/v1/health");
+        assert_eq!(status, 200);
+        assert_eq!(
+            doc.get("counts").unwrap().get("fresh").unwrap().as_u64(),
+            Some(1)
+        );
+        let (status, body) = get(&r, "/v1/metrics");
+        assert_eq!(status, 200);
+        match body {
+            Json::Str(text) => assert!(text.contains("drafts_requests_total")),
+            other => panic!("metrics is text, got {other:?}"),
+        }
+        assert_eq!(get(&r, "/v1/nope").0, 404);
+    }
+
+    #[test]
+    fn non_get_methods_are_rejected() {
+        let r = router();
+        let raw = "POST /v1/bid?duration=3600 HTTP/1.1\r\n\r\n";
+        let req = crate::http::read_request(&mut std::io::BufReader::new(raw.as_bytes()))
+            .unwrap();
+        let resp = r.handle(&req, &Metrics::new());
+        assert_eq!(resp.status, 405);
+    }
+
+    #[test]
+    fn now_override_reaches_the_service() {
+        let r = router();
+        // At now=10 only the trace's first point exists: the service
+        // serves, but no graph can compile yet. At the day-20 default the
+        // graphs are there — so `?now=` demonstrably reaches the service.
+        let (status, doc) =
+            get(&r, "/v1/graphs/us-east-1/us-east-1c/c3.4xlarge?now=10");
+        assert_eq!(status, 200);
+        assert!(doc.get("graphs").unwrap().as_arr().unwrap().is_empty());
+        let target = format!(
+            "/v1/graphs/us-east-1/us-east-1c/c3.4xlarge?now={}",
+            20 * DAY
+        );
+        let (status, doc) = get(&r, &target);
+        assert_eq!(status, 200);
+        assert!(!doc.get("graphs").unwrap().as_arr().unwrap().is_empty());
+    }
+}

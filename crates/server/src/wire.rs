@@ -1,0 +1,278 @@
+//! Wire types: JSON encoding of the service's responses, plus the
+//! decoders the loadgen harness and tests use to read them back.
+//!
+//! Schema (documented in DESIGN.md §12):
+//!
+//! * graphs — `{"region","az","type","state","age"?,"degraded",
+//!   "covered_until","graphs":[{"p","computed_at","points":[{"bid_usd",
+//!   "durability_secs"}]}]}`
+//! * bid quote — `{"region","az","type","bid_usd","durability_secs","p",
+//!   "degraded"}`
+//! * health — `{"counts":{"fresh","stale","unavailable"},"combos":[{
+//!   "region","az","type","state","age"?,"covered_until"}]}`
+//!
+//! `degraded: true` mirrors PR 3's feed-health semantics exactly: it is
+//! set iff the backing response is [`FeedHealth::Unavailable`], i.e. the
+//! graphs are no-guarantee fallbacks a client must not treat as bid
+//! guarantees (the §4.4 optimizer routes such requests to On-demand).
+
+use crate::json::Json;
+use drafts_core::service::{BidQuote, ComboHealth, FeedHealth, GraphsResponse};
+use drafts_core::BidDurationGraph;
+use spotmarket::{Catalog, Combo, Price};
+
+/// Bid prices cross the wire in dollars at tick (1/10000 USD) precision.
+fn bid_usd(p: Price) -> f64 {
+    // Price::dollars is ticks / 10^4 exactly; f64 holds it losslessly for
+    // every catalog price.
+    p.dollars()
+}
+
+fn combo_fields(catalog: &Catalog, combo: Combo) -> Vec<(&'static str, Json)> {
+    vec![
+        ("region", Json::str(combo.az.region().name())),
+        ("az", Json::str(combo.az.name())),
+        ("type", Json::str(catalog.spec(combo.ty).name)),
+    ]
+}
+
+fn health_fields(health: FeedHealth) -> Vec<(&'static str, Json)> {
+    match health {
+        FeedHealth::Fresh => vec![("state", Json::str("fresh"))],
+        FeedHealth::Stale { age } => vec![
+            ("state", Json::str("stale")),
+            ("age", Json::num_u64(age)),
+        ],
+        FeedHealth::Unavailable => vec![("state", Json::str("unavailable"))],
+    }
+}
+
+/// Encodes one published graph.
+pub fn graph_json(graph: &BidDurationGraph) -> Json {
+    Json::obj(vec![
+        ("p", Json::num(graph.probability)),
+        ("computed_at", Json::num_u64(graph.computed_at)),
+        (
+            "points",
+            Json::Arr(
+                graph
+                    .points()
+                    .iter()
+                    .map(|pt| {
+                        Json::obj(vec![
+                            ("bid_usd", Json::num(bid_usd(pt.bid))),
+                            ("durability_secs", Json::num_u64(pt.durability_secs)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Encodes a `/v1/graphs` response. `only_p` filters to one published
+/// probability level (basis-point matched upstream by the router).
+pub fn graphs_json(
+    catalog: &Catalog,
+    combo: Combo,
+    response: &GraphsResponse,
+    graphs: &[&BidDurationGraph],
+) -> Json {
+    let mut fields = combo_fields(catalog, combo);
+    fields.extend(health_fields(response.health));
+    fields.push(("degraded", Json::Bool(!response.is_guaranteed())));
+    fields.push(("covered_until", Json::num_u64(response.covered_until)));
+    fields.push((
+        "graphs",
+        Json::Arr(graphs.iter().map(|g| graph_json(g)).collect()),
+    ));
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Encodes a `/v1/bid` quote.
+pub fn bid_quote_json(catalog: &Catalog, quote: &BidQuote) -> Json {
+    let mut fields = combo_fields(catalog, quote.combo);
+    fields.push(("bid_usd", Json::num(bid_usd(quote.bid))));
+    fields.push(("durability_secs", Json::num_u64(quote.durability_secs)));
+    fields.push(("p", Json::num(quote.probability)));
+    fields.push(("degraded", Json::Bool(quote.degraded)));
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Encodes the `/v1/health` rollup.
+pub fn health_json(catalog: &Catalog, rollup: &[ComboHealth]) -> Json {
+    let mut fresh = 0u64;
+    let mut stale = 0u64;
+    let mut unavailable = 0u64;
+    for ch in rollup {
+        match ch.health {
+            FeedHealth::Fresh => fresh += 1,
+            FeedHealth::Stale { .. } => stale += 1,
+            FeedHealth::Unavailable => unavailable += 1,
+        }
+    }
+    Json::obj(vec![
+        (
+            "counts",
+            Json::obj(vec![
+                ("fresh", Json::num_u64(fresh)),
+                ("stale", Json::num_u64(stale)),
+                ("unavailable", Json::num_u64(unavailable)),
+            ]),
+        ),
+        (
+            "combos",
+            Json::Arr(
+                rollup
+                    .iter()
+                    .map(|ch| {
+                        let mut fields = combo_fields(catalog, ch.combo);
+                        fields.extend(health_fields(ch.health));
+                        fields.push(("covered_until", Json::num_u64(ch.covered_until)));
+                        Json::Obj(
+                            fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// A decoded `/v1/bid` quote (the client-side mirror of [`BidQuote`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BidQuoteWire {
+    /// AZ name, e.g. `us-east-1c`.
+    pub az: String,
+    /// Instance type name.
+    pub type_name: String,
+    /// Quoted maximum bid in dollars.
+    pub bid_usd: f64,
+    /// Guaranteed duration.
+    pub durability_secs: u64,
+    /// Probability level.
+    pub p: f64,
+    /// Whether the quote is a no-guarantee fallback.
+    pub degraded: bool,
+}
+
+impl BidQuoteWire {
+    /// Decodes a quote from its JSON document.
+    pub fn from_json(doc: &Json) -> Option<BidQuoteWire> {
+        Some(BidQuoteWire {
+            az: doc.get("az")?.as_str()?.to_string(),
+            type_name: doc.get("type")?.as_str()?.to_string(),
+            bid_usd: doc.get("bid_usd")?.as_f64()?,
+            durability_secs: doc.get("durability_secs")?.as_u64()?,
+            p: doc.get("p")?.as_f64()?,
+            degraded: doc.get("degraded")?.as_bool()?,
+        })
+    }
+}
+
+/// Decoded `/v1/health` counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthCountsWire {
+    /// Combos serving fresh data.
+    pub fresh: u64,
+    /// Combos serving stale-but-guaranteed data.
+    pub stale: u64,
+    /// Combos past the staleness budget (or without data).
+    pub unavailable: u64,
+}
+
+impl HealthCountsWire {
+    /// Decodes the counts from a `/v1/health` document.
+    pub fn from_json(doc: &Json) -> Option<HealthCountsWire> {
+        let counts = doc.get("counts")?;
+        Some(HealthCountsWire {
+            fresh: counts.get("fresh")?.as_u64()?,
+            stale: counts.get("stale")?.as_u64()?,
+            unavailable: counts.get("unavailable")?.as_u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotmarket::Az;
+
+    fn quote() -> BidQuote {
+        let catalog = Catalog::standard();
+        BidQuote {
+            combo: Combo::new(
+                Az::parse("us-east-1c").unwrap(),
+                catalog.type_id("c3.4xlarge").unwrap(),
+            ),
+            bid: Price::from_dollars(0.8123),
+            durability_secs: 7200,
+            probability: 0.95,
+            degraded: false,
+        }
+    }
+
+    #[test]
+    fn bid_quote_round_trips_through_json() {
+        let catalog = Catalog::standard();
+        let q = quote();
+        let rendered = bid_quote_json(catalog, &q).render();
+        let decoded =
+            BidQuoteWire::from_json(&Json::parse(&rendered).unwrap()).unwrap();
+        assert_eq!(decoded.az, "us-east-1c");
+        assert_eq!(decoded.type_name, "c3.4xlarge");
+        assert!((decoded.bid_usd - 0.8123).abs() < 1e-9);
+        assert_eq!(decoded.durability_secs, 7200);
+        assert_eq!(decoded.p, 0.95);
+        assert!(!decoded.degraded);
+        assert!(rendered.contains("\"region\":\"us-east-1\""));
+    }
+
+    #[test]
+    fn health_counts_partition_the_rollup() {
+        let catalog = Catalog::standard();
+        let az = Az::parse("us-west-2a").unwrap();
+        let ty = catalog.type_id("c4.large").unwrap();
+        let rollup = vec![
+            ComboHealth {
+                combo: Combo::new(az, ty),
+                health: FeedHealth::Fresh,
+                covered_until: 100,
+            },
+            ComboHealth {
+                combo: Combo::new(az, ty),
+                health: FeedHealth::Stale { age: 1800 },
+                covered_until: 50,
+            },
+            ComboHealth {
+                combo: Combo::new(az, ty),
+                health: FeedHealth::Unavailable,
+                covered_until: 0,
+            },
+        ];
+        let doc = Json::parse(&health_json(catalog, &rollup).render()).unwrap();
+        let counts = HealthCountsWire::from_json(&doc).unwrap();
+        assert_eq!(
+            counts,
+            HealthCountsWire {
+                fresh: 1,
+                stale: 1,
+                unavailable: 1
+            }
+        );
+        let combos = doc.get("combos").unwrap().as_arr().unwrap();
+        assert_eq!(combos.len(), 3);
+        assert_eq!(combos[1].get("state").unwrap().as_str(), Some("stale"));
+        assert_eq!(combos[1].get("age").unwrap().as_u64(), Some(1800));
+        assert_eq!(combos[0].get("age"), None, "fresh rows carry no age");
+    }
+
+    #[test]
+    fn degraded_flag_mirrors_feed_health() {
+        let catalog = Catalog::standard();
+        let mut q = quote();
+        q.degraded = true;
+        let rendered = bid_quote_json(catalog, &q).render();
+        assert!(rendered.contains("\"degraded\":true"));
+    }
+}

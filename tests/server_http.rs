@@ -1,0 +1,288 @@
+//! End-to-end tests of the drafts-serve layer over real loopback sockets:
+//! keep-alive concurrency, byte-determinism across independently booted
+//! servers, load shedding under a saturated accept queue, graceful drain,
+//! and handler-panic isolation.
+
+use drafts_core::predictor::DraftsConfig;
+use drafts_core::service::{DraftsService, ServiceConfig};
+use spotmarket::archetype::Archetype;
+use spotmarket::tracegen::{generate_with_archetype, TraceConfig};
+use spotmarket::{Az, Catalog, Combo, DAY};
+use loadgen::Client;
+use server::{Router, Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+const NOW: u64 = 20 * DAY;
+
+/// A two-market service, deterministic in `seed`.
+fn service(seed: u64) -> DraftsService {
+    let catalog = Catalog::standard();
+    let mut svc = DraftsService::new(ServiceConfig {
+        drafts: DraftsConfig {
+            changepoint: None,
+            autocorr: false,
+            duration_stride: 6,
+            ..DraftsConfig::default()
+        },
+        ..ServiceConfig::default()
+    });
+    for (i, (az, ty)) in [("us-east-1c", "c3.4xlarge"), ("us-west-2a", "c4.large")]
+        .into_iter()
+        .enumerate()
+    {
+        let combo = Combo::new(
+            Az::parse(az).unwrap(),
+            catalog.type_id(ty).unwrap(),
+        );
+        svc.register(generate_with_archetype(
+            combo,
+            catalog,
+            &TraceConfig::days(30, seed ^ (i as u64 + 1)),
+            Archetype::Choppy,
+        ));
+    }
+    svc
+}
+
+fn start(seed: u64, cfg: ServerConfig) -> Server {
+    let router = Router::new(Arc::new(service(seed)), NOW);
+    Server::start(router, cfg).expect("bind loopback")
+}
+
+fn start_debug(seed: u64, cfg: ServerConfig) -> Server {
+    let router = Router::new(Arc::new(service(seed)), NOW).with_debug_routes();
+    Server::start(router, cfg).expect("bind loopback")
+}
+
+/// One raw `Connection: close` round trip; returns the full response
+/// bytes, headers included.
+fn raw_get(addr: SocketAddr, path: &str) -> Vec<u8> {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    conn.set_nodelay(true).unwrap();
+    conn.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes(),
+    )
+    .expect("send");
+    let mut out = Vec::new();
+    conn.read_to_end(&mut out).expect("read");
+    out
+}
+
+const PATHS: [&str; 5] = [
+    "/v1/graphs/us-east-1/us-east-1c/c3.4xlarge",
+    "/v1/graphs/us-east-1/us-east-1c/c3.4xlarge?p=0.95",
+    "/v1/bid?duration=3600&p=0.95",
+    "/v1/bid?duration=43200",
+    "/v1/health",
+];
+
+#[test]
+fn concurrent_keepalive_clients_see_identical_bytes_across_two_runs() {
+    // Two servers booted independently from the same seed...
+    let a = start(77, ServerConfig::default());
+    let b = start(77, ServerConfig::default());
+
+    // ...serve byte-identical responses (headers included: no Date, fixed
+    // header order, deterministic JSON rendering).
+    for path in PATHS {
+        assert_eq!(
+            raw_get(a.addr(), path),
+            raw_get(b.addr(), path),
+            "response bytes differ for {path}"
+        );
+    }
+
+    // Concurrent keep-alive clients: every thread reuses one connection
+    // for all paths, and every thread sees the same bodies.
+    let addr = a.addr();
+    let mut per_thread: Vec<Vec<(u16, Vec<u8>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = Client::new(addr, Duration::from_secs(5));
+                    PATHS
+                        .iter()
+                        .map(|p| client.get(p).expect("keep-alive get"))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let first = per_thread.pop().unwrap();
+    for other in per_thread {
+        assert_eq!(first, other, "threads observed different responses");
+    }
+    assert!(first.iter().all(|(status, _)| *status == 200));
+
+    let ra = a.shutdown();
+    assert_eq!(ra.admitted, ra.served);
+    b.shutdown();
+}
+
+#[test]
+fn saturated_accept_queue_sheds_503_and_never_hangs() {
+    let srv = start(
+        78,
+        ServerConfig {
+            workers: 1,
+            accept_queue: 1,
+            connection_deadline: Duration::from_millis(300),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = srv.addr();
+
+    // Pin the single worker: a connection that sends no request holds it
+    // until the 300 ms read deadline fires.
+    let mut stall = TcpStream::connect(addr).expect("stall connect");
+    std::thread::sleep(Duration::from_millis(50));
+
+    // Flood past the one-slot queue. Everything must resolve quickly —
+    // either a 200 (the queued slot, served after the stall times out)
+    // or an immediate 503 with Retry-After; nothing may hang.
+    let results: Vec<(u16, Vec<u8>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = Client::new(addr, Duration::from_secs(5));
+                    client.get("/v1/health").expect("flood get resolves")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let shed = results.iter().filter(|(s, _)| *s == 503).count();
+    let ok = results.iter().filter(|(s, _)| *s == 200).count();
+    assert_eq!(shed + ok, 8, "unexpected statuses: {results:?}");
+    assert!(shed >= 1, "flooding a full queue must shed");
+    assert!(
+        srv.metrics().shed.load(std::sync::atomic::Ordering::Relaxed) >= shed as u64
+    );
+
+    // The shed response carries the backoff hint.
+    if let Some((_, body)) = results.iter().find(|(s, _)| *s == 503) {
+        assert!(
+            String::from_utf8_lossy(body).contains("overloaded"),
+            "503 body should say overloaded"
+        );
+    }
+
+    // Late requests succeed once the flood clears.
+    let mut client = Client::new(addr, Duration::from_secs(5));
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        match client.get("/v1/health") {
+            Ok((200, _)) => break,
+            _ if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(50))
+            }
+            other => panic!("server never recovered: {other:?}"),
+        }
+    }
+    stall.write_all(b" ").ok();
+    drop(stall);
+    let report = srv.shutdown();
+    assert_eq!(report.admitted, report.served, "drain dropped admitted work");
+}
+
+#[test]
+fn graceful_drain_finishes_in_flight_requests() {
+    let srv = start(
+        79,
+        ServerConfig {
+            workers: 2,
+            connection_deadline: Duration::from_secs(5),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = srv.addr();
+
+    // Admit a connection whose request arrives only *after* shutdown has
+    // begun: the drain must still serve it, not sever it.
+    let mut lagging = TcpStream::connect(addr).expect("connect");
+    lagging.set_nodelay(true).unwrap();
+    lagging
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(50)); // ensure it is admitted
+
+    let shutdown = std::thread::spawn(move || srv.shutdown());
+    std::thread::sleep(Duration::from_millis(100));
+    lagging
+        .write_all(b"GET /v1/health HTTP/1.1\r\nHost: t\r\n\r\n")
+        .expect("send during drain");
+    let mut response = Vec::new();
+    lagging.read_to_end(&mut response).expect("read during drain");
+    let text = String::from_utf8_lossy(&response);
+    assert!(
+        text.starts_with("HTTP/1.1 200 OK\r\n"),
+        "in-flight request must complete during drain, got: {text}"
+    );
+    assert!(
+        text.contains("Connection: close"),
+        "drain must close keep-alive connections after the response"
+    );
+
+    let report = shutdown.join().expect("shutdown thread");
+    assert_eq!(report.admitted, report.served, "drain dropped admitted work");
+    assert!(report.admitted >= 1);
+}
+
+#[test]
+fn handler_panics_are_isolated_from_other_connections_and_workers() {
+    let srv = start_debug(
+        80,
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = srv.addr();
+
+    // Hammer the panic route from several threads, interleaved with real
+    // traffic on the same worker pool. The shared service state behind
+    // `parallel::lock_clean` must stay usable: a panicked handler cannot
+    // poison it for anyone else.
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(move || {
+                let mut client = Client::new(addr, Duration::from_secs(5));
+                for _ in 0..5 {
+                    let (status, _) =
+                        client.get("/v1/_debug/panic").expect("panic route responds");
+                    assert_eq!(status, 500, "panic surfaces as 500, not a hang");
+                    let (status, _) = client.get("/v1/health").expect("health after panic");
+                    assert_eq!(status, 200, "worker must survive the panic");
+                }
+            });
+        }
+    });
+
+    let metrics = srv.metrics();
+    assert_eq!(
+        metrics
+            .handler_panics
+            .load(std::sync::atomic::Ordering::Relaxed),
+        20,
+        "every panic is counted"
+    );
+
+    // The pool still serves real queries afterwards.
+    let mut client = Client::new(addr, Duration::from_secs(5));
+    let (status, body) = client.get("/v1/bid?duration=3600").expect("bid after storm");
+    assert_eq!(status, 200);
+    let doc = server::Json::parse(&String::from_utf8(body).unwrap()).unwrap();
+    assert!(
+        server::BidQuoteWire::from_json(&doc).is_some(),
+        "quote still decodes"
+    );
+
+    let report = srv.shutdown();
+    assert_eq!(report.admitted, report.served);
+    assert_eq!(report.handler_panics, 20);
+}
