@@ -208,11 +208,17 @@ pub fn run(cfg: &BacktestConfig) -> BacktestResult {
 
 /// Backtests a single combo (exposed for tests and benches).
 pub fn run_combo(cfg: &BacktestConfig, catalog: &Catalog, combo: Combo) -> ComboResult {
-    let trace_cfg = TraceConfig::days(cfg.days, cfg.seed);
-    let history = tracegen::generate(combo, catalog, &trace_cfg);
+    let _span = obs::span("bt_combo");
+    let history = {
+        let _span = obs::span("bt_tracegen");
+        tracegen::generate(combo, catalog, &TraceConfig::days(cfg.days, cfg.seed))
+    };
     let od = catalog.od_price(combo.ty, combo.az.region());
     let factory = StreamFactory::new(cfg.seed);
-    let requests = request::generate(&cfg.request_config(), &factory, combo);
+    let requests = {
+        let _span = obs::span("bt_requests");
+        request::generate(&cfg.request_config(), &factory, combo)
+    };
 
     let mut sweep = ComboSweep::new(&history, od, cfg.sweep);
     let mut ar1 = Ar1Estimator::paper_default();
@@ -232,6 +238,7 @@ pub fn run_combo(cfg: &BacktestConfig, catalog: &Catalog, combo: Combo) -> Combo
     let mut tightness_sum = 0.0;
     let mut tightness_count = 0usize;
 
+    let _sweep_span = obs::span("bt_sweep");
     for req in &requests {
         sweep.advance_to(req.start);
         // Feed the simple estimators the same information set.
@@ -343,6 +350,29 @@ mod tests {
             assert!(combo.tightness_count > 0);
             assert!(combo.tightness() >= 1.0, "bids sit above market price");
         }
+    }
+
+    #[test]
+    fn stages_record_into_an_installed_tracer_across_pool_workers() {
+        let registry = obs::Registry::new();
+        let tracer = obs::Tracer::new(registry.clone());
+        let _guard = tracer.install();
+        let res = run(&BacktestConfig {
+            threads: Some(4),
+            ..small_cfg()
+        });
+        assert_eq!(res.combos.len(), 6);
+        for stage in ["bt_combo", "bt_tracegen", "bt_requests", "bt_sweep"] {
+            assert_eq!(
+                tracer.stage_stats(stage).total.count(),
+                6,
+                "one {stage} span per combo"
+            );
+        }
+        // The per-combo stages are children of bt_combo: self < total.
+        let combo = tracer.stage_stats("bt_combo");
+        assert!(combo.self_time.sum_ns() < combo.total.sum_ns());
+        assert_eq!(registry.counter("drafts_pool_tasks_total").get(), 6);
     }
 
     #[test]

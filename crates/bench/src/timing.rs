@@ -148,135 +148,30 @@ impl Harness {
     }
 }
 
-/// Log-bucketed latency histogram: 64 powers-of-two buckets over
-/// nanoseconds, constant memory regardless of sample count.
-///
-/// Quantiles are resolved to the **upper edge** of the bucket holding the
-/// quantile rank, so a reported p99 is a conservative (never understated)
-/// bound with at most 2× resolution error — plenty for latency
-/// distributions spanning decades. `max` is tracked exactly.
-#[derive(Debug, Clone)]
-pub struct LogHistogram {
-    buckets: [u64; 64],
-    count: u64,
-    max_ns: u64,
-}
-
-impl Default for LogHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LogHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        LogHistogram {
-            buckets: [0; 64],
-            count: 0,
-            max_ns: 0,
-        }
-    }
-
-    fn bucket_of(ns: u64) -> usize {
-        // Bucket i holds values in [2^i, 2^(i+1)); 0 lands in bucket 0.
-        (63 - ns.max(1).leading_zeros()) as usize
-    }
-
-    /// Records one latency observation.
-    pub fn record(&mut self, latency: Duration) {
-        let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
-        self.buckets[Self::bucket_of(ns)] += 1;
-        self.count += 1;
-        self.max_ns = self.max_ns.max(ns);
-    }
-
-    /// Merges another histogram into this one.
-    pub fn merge(&mut self, other: &LogHistogram) {
-        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.max_ns = self.max_ns.max(other.max_ns);
-    }
-
-    /// Observations recorded.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Exact maximum observation, in ns.
-    pub fn max_ns(&self) -> u64 {
-        self.max_ns
-    }
-
-    /// The `q`-quantile (0 < q <= 1) as the upper edge of its bucket, in
-    /// ns; `None` on an empty histogram. The top-most occupied bucket
-    /// resolves to the exact max.
-    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
-        if self.count == 0 {
-            return None;
-        }
-        assert!(q > 0.0 && q <= 1.0, "quantile out of range: {q}");
-        // Rank of the q-quantile observation, 1-based, nearest-rank rule.
-        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
-        let mut seen = 0u64;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                let upper = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
-                return Some(upper.min(self.max_ns));
-            }
-        }
-        Some(self.max_ns)
-    }
-}
+/// The workspace's log-bucketed latency histogram now lives in the
+/// observability substrate; re-exported here so existing
+/// `bench::timing::LogHistogram` imports keep working.
+pub use obs::LogHistogram;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn log_histogram_quantiles_bound_the_data() {
+    fn log_histogram_reexport_keeps_the_old_import_path_working() {
+        // The type itself (and the bucket-midpoint quantile fix) lives in
+        // `obs::hist`; this pins the compatibility re-export and the new
+        // interpolation at a bucket boundary: a single 1000 ns sample sits
+        // in bucket [512, 1023] and must report the midpoint 767, not the
+        // upper bound 1023 the old implementation returned.
         let mut h = LogHistogram::new();
-        for us in 1..=1000u64 {
-            h.record(Duration::from_micros(us));
-        }
-        assert_eq!(h.count(), 1000);
-        assert_eq!(h.max_ns(), 1_000_000);
-        let p50 = h.quantile_ns(0.50).unwrap();
-        let p99 = h.quantile_ns(0.99).unwrap();
-        // Upper-edge resolution: quantile >= true value, < 2x true value.
-        assert!((500_000..1_048_576).contains(&p50), "p50 {p50}");
-        assert!((990_000..=1_000_000).contains(&p99), "p99 {p99}");
-        assert!(p50 <= p99 && p99 <= h.max_ns());
-        assert_eq!(h.quantile_ns(1.0), Some(1_000_000), "p100 is the exact max");
-    }
-
-    #[test]
-    fn log_histogram_merge_is_a_sum() {
-        let mut a = LogHistogram::new();
-        let mut b = LogHistogram::new();
-        a.record(Duration::from_nanos(100));
-        b.record(Duration::from_millis(5));
-        a.merge(&b);
-        assert_eq!(a.count(), 2);
-        assert_eq!(a.max_ns(), 5_000_000);
-        assert!(a.quantile_ns(0.25).unwrap() < 1000);
-    }
-
-    #[test]
-    fn log_histogram_empty_has_no_quantiles() {
-        let h = LogHistogram::new();
-        assert_eq!(h.quantile_ns(0.5), None);
-        assert_eq!(h.count(), 0);
-    }
-
-    #[test]
-    fn log_histogram_zero_latency_is_representable() {
-        let mut h = LogHistogram::new();
-        h.record(Duration::ZERO);
-        assert_eq!(h.quantile_ns(0.5), Some(0), "capped by the exact max");
+        h.record(Duration::from_nanos(1000));
+        assert_eq!(h.quantile_ns(0.5), Some(767));
+        assert_eq!(h.max_ns(), 1000);
+        let mut other = LogHistogram::new();
+        other.record(Duration::from_millis(5));
+        h.merge(&other);
+        assert_eq!(h.count(), 2);
     }
 
     #[test]

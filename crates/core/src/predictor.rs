@@ -140,6 +140,7 @@ impl<'a> DraftsPredictor<'a> {
     /// stationary segment) is too short for a bound at the configured
     /// confidence.
     pub fn min_bid(&self, upto: usize, p: f64) -> Option<Price> {
+        let _span = obs::span("qbets_price");
         let q = Self::step_quantile(p);
         assert!(upto < self.history.len(), "upto out of range");
         let mut qbets = Qbets::new(self.cfg.qbets_config());
@@ -176,6 +177,7 @@ impl<'a> DraftsPredictor<'a> {
     /// median-run detector would misread as a perpetual level shift and
     /// truncate away the whole informative history.
     pub fn durability(&self, upto: usize, bid: Price, p: f64) -> Option<u64> {
+        let _span = obs::span("qbets_duration");
         let q = Self::step_quantile(p);
         let series = duration_series(
             self.history,

@@ -42,11 +42,25 @@
 
 use crate::graph::BidDurationGraph;
 use crate::predictor::{DraftsConfig, DraftsPredictor};
+use obs::{Counter, Registry};
 use parallel::lock_clean;
 use spotmarket::faults::{CleanFeed, FeedSource};
 use spotmarket::{Combo, Price, PriceHistory};
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
+
+/// Span stage names the service (and the predictor beneath it) records,
+/// in canonical exposition order — processes that render a registry
+/// pre-register these at boot so the exposition order never depends on
+/// which worker thread recorded a stage first.
+pub const SERVICE_STAGES: &[&str] = &[
+    "svc_cheapest_bid",
+    "svc_fetch",
+    "svc_compute",
+    "svc_health",
+    "qbets_price",
+    "qbets_duration",
+];
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -248,8 +262,32 @@ pub struct DraftsService {
     cache: Mutex<HashMap<(u64, u64), GraphsResponse>>,
     last_good: Mutex<HashMap<u64, LastGood>>,
     inflight: Mutex<HashMap<(u64, u64), Arc<Flight>>>,
-    computes: Mutex<u64>,
-    feed_retries: Mutex<u64>,
+    /// Graph recomputations (== distinct buckets computed).
+    computes: Counter,
+    /// Feed poll retries after transient errors.
+    feed_retries: Counter,
+    /// Bucket fetches answered from the cache.
+    cache_hits: Counter,
+    /// Bucket fetches that led the computation (cache misses).
+    cache_misses: Counter,
+    /// Fetches that waited on another caller's in-flight computation.
+    stampede_waits: Counter,
+    /// Computed-health transitions into each state (first observation of
+    /// a combo counts as a transition into its initial state).
+    health_transitions: [Counter; 3],
+    /// Last computed health per combo, as an index into
+    /// `health_transitions`.
+    health_state: Mutex<HashMap<u64, usize>>,
+}
+
+/// Index of a health state in [`DraftsService::health_transitions`] and
+/// in the exposition's `to=` label order.
+fn health_index(health: FeedHealth) -> usize {
+    match health {
+        FeedHealth::Fresh => 0,
+        FeedHealth::Stale { .. } => 1,
+        FeedHealth::Unavailable => 2,
+    }
 }
 
 impl DraftsService {
@@ -275,8 +313,41 @@ impl DraftsService {
             cache: Mutex::new(HashMap::new()),
             last_good: Mutex::new(HashMap::new()),
             inflight: Mutex::new(HashMap::new()),
-            computes: Mutex::new(0),
-            feed_retries: Mutex::new(0),
+            computes: Counter::new(),
+            feed_retries: Counter::new(),
+            cache_hits: Counter::new(),
+            cache_misses: Counter::new(),
+            stampede_waits: Counter::new(),
+            health_transitions: [Counter::new(), Counter::new(), Counter::new()],
+            health_state: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Exposes the service's counters (and its feeds') in `registry`, in
+    /// canonical order. Called once per process at boot (the server does
+    /// it in `Server::bind`) so repeated renders and repeated boots list
+    /// metrics identically.
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.attach_counter("drafts_cache_hits_total", &self.cache_hits);
+        registry.attach_counter("drafts_cache_misses_total", &self.cache_misses);
+        registry.attach_counter("drafts_stampede_waits_total", &self.stampede_waits);
+        registry.attach_counter("drafts_computes_total", &self.computes);
+        registry.attach_counter("drafts_feed_retries_total", &self.feed_retries);
+        for (state, counter) in ["fresh", "stale", "unavailable"]
+            .iter()
+            .zip(&self.health_transitions)
+        {
+            registry.attach_counter(
+                &format!("drafts_health_transitions_total{{to=\"{state}\"}}"),
+                counter,
+            );
+        }
+        // Feeds attach their own (e.g. injected-fault counters), in
+        // stable combo order for a deterministic exposition.
+        for combo in self.combos() {
+            if let Some(feed) = self.feeds.get(&combo.key()) {
+                feed.register_metrics(registry);
+            }
         }
     }
 
@@ -292,6 +363,7 @@ impl DraftsService {
         self.feeds.insert(feed.combo().key(), feed);
         lock_clean(&self.cache).clear();
         lock_clean(&self.last_good).clear();
+        lock_clean(&self.health_state).clear();
     }
 
     /// The combos the service knows about, in stable (key) order — so
@@ -313,6 +385,7 @@ impl DraftsService {
     /// (and the §4.4 optimizer) route to On-demand instead. `None` when no
     /// combo publishes a qualifying point at all.
     pub fn cheapest_bid(&self, p: f64, duration_secs: u64, now: u64) -> Option<BidQuote> {
+        let _span = obs::span("svc_cheapest_bid");
         let mut best: Option<BidQuote> = None;
         let mut best_fallback: Option<BidQuote> = None;
         for combo in self.combos() {
@@ -348,6 +421,7 @@ impl DraftsService {
     /// `/v1/health` rollup). Combos that have never served data report
     /// [`FeedHealth::Unavailable`] with `covered_until = 0`.
     pub fn health_rollup(&self, now: u64) -> Vec<ComboHealth> {
+        let _span = obs::span("svc_health");
         self.combos()
             .into_iter()
             .map(|combo| match self.fetch(combo, now) {
@@ -368,12 +442,12 @@ impl DraftsService {
     /// Number of graph recomputations performed (cache + single-flight
     /// instrumentation: equals the number of distinct buckets computed).
     pub fn compute_count(&self) -> u64 {
-        *lock_clean(&self.computes)
+        self.computes.get()
     }
 
     /// Number of feed poll retries performed after transient errors.
     pub fn feed_retry_count(&self) -> u64 {
-        *lock_clean(&self.feed_retries)
+        self.feed_retries.get()
     }
 
     fn bucket(&self, now: u64) -> u64 {
@@ -393,10 +467,12 @@ impl DraftsService {
 
     /// Like [`Self::graphs`], with the feed-health metadata attached.
     pub fn fetch(&self, combo: Combo, now: u64) -> Option<GraphsResponse> {
+        let _span = obs::span("svc_fetch");
         let feed = self.feeds.get(&combo.key())?.clone();
         let bucket = self.bucket(now);
         let key = (combo.key(), bucket);
         if let Some(hit) = lock_clean(&self.cache).get(&key) {
+            self.cache_hits.inc();
             return Some(hit.clone());
         }
 
@@ -413,6 +489,7 @@ impl DraftsService {
             }
         };
         if !leader {
+            self.stampede_waits.inc();
             return flight.wait();
         }
 
@@ -438,9 +515,11 @@ impl DraftsService {
         // Double-check: a previous leader may have populated the cache
         // between our miss and our taking leadership.
         if let Some(hit) = lock_clean(&self.cache).get(&key) {
+            self.cache_hits.inc();
             flight.complete(Some(hit.clone()));
             return Some(hit.clone());
         }
+        self.cache_misses.inc();
         let result = self.compute_bucket(feed.as_ref(), combo, bucket);
         if let Some(r) = &result {
             lock_clean(&self.cache).insert(key, r.clone());
@@ -456,6 +535,7 @@ impl DraftsService {
         combo: Combo,
         bucket: u64,
     ) -> Option<GraphsResponse> {
+        let _span = obs::span("svc_compute");
         let bucket_time = bucket * self.cfg.recompute_period;
 
         // Retry transient feed errors with deterministic exponential
@@ -473,7 +553,7 @@ impl DraftsService {
                     }
                     poll_at += self.cfg.retry_backoff << attempt;
                     attempt += 1;
-                    *lock_clean(&self.feed_retries) += 1;
+                    self.feed_retries.inc();
                 }
             }
         };
@@ -490,13 +570,14 @@ impl DraftsService {
                     graphs.push(g.with_timestamp(bucket_time));
                 }
             }
-            *lock_clean(&self.computes) += 1;
+            self.computes.inc();
             Some((Arc::new(ComboGraphs { graphs }), covered_until))
         });
 
         match computed {
             Some((graphs, covered_until)) => {
                 let health = self.health_for(bucket_time, covered_until);
+                self.note_health(combo, health);
                 if health.is_guaranteed() {
                     lock_clean(&self.last_good).insert(
                         combo.key(),
@@ -517,12 +598,24 @@ impl DraftsService {
                 // good graphs with their true age — Stale within the
                 // budget, demoted to Unavailable beyond it.
                 let lg = lock_clean(&self.last_good).get(&combo.key()).cloned()?;
+                let health = self.health_for(bucket_time, lg.covered_until);
+                self.note_health(combo, health);
                 Some(GraphsResponse {
-                    health: self.health_for(bucket_time, lg.covered_until),
+                    health,
                     graphs: lg.graphs,
                     covered_until: lg.covered_until,
                 })
             }
+        }
+    }
+
+    /// Counts a health-state transition for `combo` (the first computed
+    /// health of a combo counts as a transition into its initial state).
+    fn note_health(&self, combo: Combo, health: FeedHealth) {
+        let idx = health_index(health);
+        let mut state = lock_clean(&self.health_state);
+        if state.insert(combo.key(), idx) != Some(idx) {
+            self.health_transitions[idx].inc();
         }
     }
 

@@ -4,11 +4,13 @@
 //! repro <experiment> [--quick]
 //! experiment: table1 | figure1 | figure2 | figure3 | figure4
 //!           | table2 | table3 | table4 | table5 | tightness
-//!           | reflexivity | faults | serve | all
+//!           | reflexivity | faults | serve | profile | all
 //!
 //! `serve` boots the drafts-serve HTTP layer on an ephemeral loopback
-//! port and replays the seeded loadgen workload against it. It is not
-//! part of `all`: its wall-clock half depends on the machine.
+//! port and replays the seeded loadgen workload against it. `profile`
+//! is the same boot with span tracing on, reporting where each request
+//! spends its time per pipeline stage. Neither is part of `all`: their
+//! wall-clock halves depend on the machine.
 //! ```
 //!
 //! Artifacts (rendered tables + CSV series) land in `results/` (override
@@ -16,9 +18,10 @@
 
 use experiments::common::{self, Scale};
 use experiments::{
-    faults, figure1, figure4, launch, reflexivity, serve, table1, table2, table3, table45,
+    faults, figure1, figure4, launch, profile, reflexivity, serve, table1, table2, table3,
+    table45,
 };
-use std::time::Instant;
+use obs::Stopwatch;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -31,7 +34,7 @@ fn main() {
         .unwrap_or("all")
         .to_string();
 
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     match which.as_str() {
         "table1" => run_table1(scale),
         "figure1" => run_figure1(scale),
@@ -46,6 +49,7 @@ fn main() {
         "reflexivity" => run_reflexivity(),
         "faults" => run_faults(scale),
         "serve" => run_serve(scale),
+        "profile" => run_profile(scale),
         "all" => {
             run_table1_figure1_table4(scale);
             run_table45(scale, 5);
@@ -60,7 +64,8 @@ fn main() {
         other => {
             eprintln!(
                 "unknown experiment '{other}'; expected table1|figure1|figure2|figure3|\
-                 figure4|table2|table3|table4|table5|tightness|reflexivity|faults|serve|all"
+                 figure4|table2|table3|table4|table5|tightness|reflexivity|faults|serve|\
+                 profile|all"
             );
             std::process::exit(2);
         }
@@ -185,6 +190,13 @@ fn run_serve(scale: Scale) {
     let lat = common::write_artifact("serve_latency.csv", &serve::latency_csv(&out));
     eprintln!("wrote {}", common::display(&det));
     eprintln!("wrote {}", common::display(&lat));
+}
+
+fn run_profile(scale: Scale) {
+    let out = profile::run(scale);
+    print!("{}", profile::summarize(&out));
+    let path = common::write_artifact("profile.csv", &profile::to_csv(&out));
+    eprintln!("wrote {}", common::display(&path));
 }
 
 fn run_table3(scale: Scale) {

@@ -21,12 +21,14 @@
 //! | `reflexivity` | SS6 future work: adoption feedback      | [`reflexivity`] |
 //! | `faults`  | feed-fault degradation sweep (robustness) | [`faults`] |
 //! | `serve`   | serving-layer throughput/latency smoke    | [`serve`] |
+//! | `profile` | per-stage serving-pipeline profile        | [`profile`] |
 
 pub mod common;
 pub mod faults;
 pub mod figure1;
 pub mod figure4;
 pub mod launch;
+pub mod profile;
 pub mod reflexivity;
 pub mod serve;
 pub mod table1;

@@ -29,8 +29,9 @@ use spotmarket::{Az, Catalog, Combo, DAY};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Seed domain separating the serving experiment from the others.
-const SERVE_SEED: u64 = REPRO_SEED ^ 0x5E17E;
+/// Seed domain separating the serving experiment (and the profile
+/// experiment built on its plan) from the others.
+pub const SERVE_SEED: u64 = REPRO_SEED ^ 0x5E17E;
 
 /// The serving workload shape at `scale`.
 pub struct ServePlan {

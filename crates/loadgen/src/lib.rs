@@ -27,7 +27,8 @@ use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use obs::Stopwatch;
+use std::time::Duration;
 
 /// What a planned request asks for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -337,7 +338,7 @@ impl Client {
 /// aggregates the report.
 pub fn run(addr: SocketAddr, plan: &[Planned], clients: usize, timeout: Duration) -> RunReport {
     assert!(clients > 0, "need at least one client");
-    let started = Instant::now();
+    let started = Stopwatch::start();
     let observations: Mutex<Vec<Observation>> = Mutex::new(Vec::with_capacity(plan.len()));
 
     std::thread::scope(|scope| {
@@ -352,7 +353,7 @@ pub fn run(addr: SocketAddr, plan: &[Planned], clients: usize, timeout: Duration
                     if let Some(wait) = planned.at.checked_sub(started.elapsed()) {
                         std::thread::sleep(wait);
                     }
-                    let issued = Instant::now();
+                    let issued = Stopwatch::start();
                     let Ok((status, body)) = client.get(&planned.path) else {
                         continue;
                     };

@@ -1,0 +1,43 @@
+//! The workspace's one gateway to the wall clock.
+//!
+//! Everything outside `obs` and the bench harness measures elapsed wall
+//! time through [`Stopwatch`] (CI greps for direct `Instant::now` calls).
+//! Funnelling the clock through one type keeps the determinism contract
+//! auditable: virtual time (`?now=`) drives all simulation and response
+//! bytes; wall time exists only to be *reported*, in explicitly
+//! wall-clock artifacts.
+
+use std::time::{Duration, Instant};
+
+/// A started wall-clock timer.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Stopwatch {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Wall time elapsed since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed();
+        let b = sw.elapsed();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,150 @@
+//! A bounded ring-buffer event journal for span traces.
+//!
+//! The journal holds the most recent `capacity` closed spans; at capacity
+//! it overwrites oldest-first **without reallocating** — the backing
+//! vector is allocated once and written through a wrapping index. All
+//! timestamps are wall clock relative to the owning tracer's epoch, so
+//! the journal only ever surfaces through explicitly wall-clock outputs
+//! (`/v1/_debug/trace`, profile reports), never deterministic ones.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One closed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Global sequence number (1-based, increments per closed span).
+    pub seq: u64,
+    /// The stage name the span was opened with.
+    pub stage: &'static str,
+    /// Nesting depth at open time (0 = root).
+    pub depth: u16,
+    /// Wall-clock start, nanoseconds since the tracer's epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+#[derive(Debug)]
+struct Ring {
+    buf: Vec<Event>,
+    cap: usize,
+    /// Overwrite cursor once `buf.len() == cap`; the oldest live event.
+    next: usize,
+    seq: u64,
+}
+
+/// A shared, bounded, oldest-first-truncating event journal.
+#[derive(Debug, Clone)]
+pub struct Journal {
+    ring: Arc<Mutex<Ring>>,
+}
+
+impl Journal {
+    /// A journal holding at most `capacity` events (minimum 1). The
+    /// backing storage is allocated here, once.
+    pub fn new(capacity: usize) -> Journal {
+        let cap = capacity.max(1);
+        Journal {
+            ring: Arc::new(Mutex::new(Ring {
+                buf: Vec::with_capacity(cap),
+                cap,
+                next: 0,
+                seq: 0,
+            })),
+        }
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        lock(&self.ring).cap
+    }
+
+    /// Number of currently retained events.
+    pub fn len(&self) -> usize {
+        lock(&self.ring).buf.len()
+    }
+
+    /// Whether no events have been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends a closed span, evicting the oldest event at capacity.
+    pub fn push(&self, stage: &'static str, depth: u16, start_ns: u64, dur_ns: u64) {
+        let mut ring = lock(&self.ring);
+        ring.seq += 1;
+        let event = Event {
+            seq: ring.seq,
+            stage,
+            depth,
+            start_ns,
+            dur_ns,
+        };
+        if ring.buf.len() < ring.cap {
+            ring.buf.push(event);
+        } else {
+            let i = ring.next;
+            ring.buf[i] = event;
+            ring.next = (i + 1) % ring.cap;
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let ring = lock(&self.ring);
+        let mut out = Vec::with_capacity(ring.buf.len());
+        out.extend_from_slice(&ring.buf[ring.next..]);
+        out.extend_from_slice(&ring.buf[..ring.next]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncates_oldest_first_at_capacity_without_reallocating() {
+        let j = Journal::new(4);
+        let base_ptr = lock(&j.ring).buf.as_ptr();
+        for i in 0..11u64 {
+            j.push("s", 0, i, 1);
+        }
+        let snap = j.snapshot();
+        assert_eq!(snap.len(), 4);
+        assert_eq!(
+            snap.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![8, 9, 10, 11],
+            "oldest events evicted first, order preserved"
+        );
+        let ring = lock(&j.ring);
+        assert_eq!(ring.buf.as_ptr(), base_ptr, "ring must never reallocate");
+        assert_eq!(ring.buf.capacity(), 4);
+    }
+
+    #[test]
+    fn below_capacity_keeps_everything_in_order() {
+        let j = Journal::new(8);
+        j.push("a", 0, 0, 5);
+        j.push("b", 1, 2, 3);
+        let snap = j.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].stage, "a");
+        assert_eq!(snap[1].stage, "b");
+        assert_eq!(snap[1].seq, 2);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let j = Journal::new(0);
+        j.push("a", 0, 0, 1);
+        j.push("b", 0, 1, 1);
+        let snap = j.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].stage, "b");
+    }
+}

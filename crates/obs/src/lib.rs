@@ -1,0 +1,36 @@
+//! Observability substrate for the DrAFTS workspace (std-only).
+//!
+//! Three layers, designed around the repo's determinism contract
+//! (responses are pure functions of `(seed, request)` under virtual
+//! `?now=` time; wall-clock data appears only in explicitly wall-clock
+//! artifacts):
+//!
+//! * **Registry** ([`Registry`], [`Counter`], [`Gauge`], [`Histogram`]) —
+//!   named metrics registered once, shared via `Arc` handles, rendered as
+//!   a deterministic insertion-ordered text exposition. Histograms print
+//!   only their `_count` there; durations stay out of deterministic
+//!   output.
+//! * **Spans** ([`Tracer`], [`span`]) — RAII drop-guards recording each
+//!   pipeline stage's total and self (children-excluded) wall time into
+//!   per-stage histograms. Threads opt in by installing a tracer; without
+//!   one a span is a near-free no-op, so instrumentation is permanent.
+//! * **Journal** ([`Journal`]) — an optional bounded ring buffer of
+//!   closed spans (oldest-first eviction, no reallocation) for
+//!   `/v1/_debug/trace`-style dumps and profile reports.
+//!
+//! [`LogHistogram`] lives here (promoted from `bench::timing`, which
+//! re-exports it) so every crate shares one histogram implementation, and
+//! [`Stopwatch`] is the workspace's sole gateway to the wall clock
+//! outside `obs`/`bench` — CI greps for stray `Instant::now` calls.
+
+pub mod clock;
+pub mod hist;
+pub mod journal;
+pub mod registry;
+pub mod span;
+
+pub use clock::Stopwatch;
+pub use hist::{LogHistogram, SharedHistogram};
+pub use journal::{Event, Journal};
+pub use registry::{Counter, Gauge, Histogram, Registry};
+pub use span::{ambient, span, InstallGuard, Span, StageStats, Tracer};

@@ -134,6 +134,21 @@ impl Pool {
     {
         let workers = self.threads.min(n);
 
+        // Propagate the caller's ambient tracer (if any) into the workers
+        // so spans opened inside tasks record into the caller's registry,
+        // and count pool activity there.
+        let tracer = obs::ambient();
+        let metrics = tracer.as_ref().map(|t| {
+            let registry = t.registry();
+            registry
+                .gauge("drafts_pool_max_queue_depth")
+                .raise(n.div_ceil(workers) as u64);
+            PoolMetrics {
+                tasks: registry.counter("drafts_pool_tasks_total"),
+                steals: registry.counter("drafts_pool_steals_total"),
+            }
+        });
+
         // Round-robin the indices so every worker starts with a spread of
         // the input rather than one contiguous block: with skewed costs a
         // contiguous split concentrates the expensive prefix on worker 0.
@@ -151,7 +166,12 @@ impl Pool {
                 .map(|w| {
                     let queues = &queues;
                     let abort = &abort;
-                    scope.spawn(move || worker_loop(w, queues, abort, task))
+                    let tracer = tracer.clone();
+                    let metrics = metrics.as_ref();
+                    scope.spawn(move || {
+                        let _ambient = tracer.as_ref().map(obs::Tracer::install);
+                        worker_loop(w, queues, abort, task, metrics)
+                    })
                 })
                 .collect();
             let mut outs = Vec::with_capacity(workers);
@@ -282,11 +302,20 @@ impl<T> SharedMutPtr<T> {
 
 unsafe impl<T: Send> Sync for SharedMutPtr<T> {}
 
+/// Counter handles for one `run_indexed` call, resolved from the calling
+/// thread's ambient tracer registry (absent when none is installed, in
+/// which case the pool records nothing).
+struct PoolMetrics {
+    tasks: obs::Counter,
+    steals: obs::Counter,
+}
+
 fn worker_loop<R, F>(
     me: usize,
     queues: &[Mutex<VecDeque<usize>>],
     abort: &AtomicBool,
     task: &F,
+    metrics: Option<&PoolMetrics>,
 ) -> Vec<(usize, R)>
 where
     R: Send,
@@ -297,10 +326,13 @@ where
         if abort.load(Ordering::Acquire) {
             return out;
         }
-        let idx = match next_task(me, queues) {
+        let idx = match next_task(me, queues, metrics) {
             Some(idx) => idx,
             None => return out, // every deque empty: no task can reappear
         };
+        if let Some(m) = metrics {
+            m.tasks.inc();
+        }
         match panic::catch_unwind(AssertUnwindSafe(|| task(idx))) {
             Ok(r) => out.push((idx, r)),
             Err(payload) => {
@@ -314,7 +346,11 @@ where
 /// Pops the worker's own deque LIFO, else steals FIFO from the first
 /// non-empty victim. `None` means every deque was observed empty; since
 /// tasks never respawn, that is a stable termination condition.
-fn next_task(me: usize, queues: &[Mutex<VecDeque<usize>>]) -> Option<usize> {
+fn next_task(
+    me: usize,
+    queues: &[Mutex<VecDeque<usize>>],
+    metrics: Option<&PoolMetrics>,
+) -> Option<usize> {
     if let Some(idx) = lock_clean(&queues[me]).pop_back() {
         return Some(idx);
     }
@@ -322,6 +358,9 @@ fn next_task(me: usize, queues: &[Mutex<VecDeque<usize>>]) -> Option<usize> {
     for off in 1..w {
         let victim = (me + off) % w;
         if let Some(idx) = lock_clean(&queues[victim]).pop_front() {
+            if let Some(m) = metrics {
+                m.steals.inc();
+            }
             return Some(idx);
         }
     }
@@ -391,7 +430,7 @@ mod tests {
         // rest across other threads, and the wall clock must beat serial.
         let mut items = vec![100u64]; // ms
         items.extend(std::iter::repeat_n(10u64, 7)); // 7 x 10 ms
-        let started = std::time::Instant::now();
+        let started = obs::Stopwatch::start();
         let tid_of_task = Pool::new(4).par_map(&items, |&ms| {
             std::thread::sleep(std::time::Duration::from_millis(ms));
             format!("{:?}", std::thread::current().id())
@@ -485,6 +524,30 @@ mod tests {
         assert_eq!(PoolBuilder::new().threads(3).build().threads(), 3);
         assert_eq!(Pool::with_override(Some(2)).threads(), 2);
         assert!(Pool::with_override(None).threads() >= 1);
+    }
+
+    #[test]
+    fn pool_records_into_the_ambient_tracer_registry() {
+        let registry = obs::Registry::new();
+        let tracer = obs::Tracer::new(registry.clone());
+        let _guard = tracer.install();
+        let items: Vec<u64> = (0..100).collect();
+        let out = Pool::new(4).par_map(&items, |&x| {
+            let _span = obs::span("pool_task");
+            x + 1
+        });
+        assert_eq!(out.len(), 100);
+        assert_eq!(registry.counter("drafts_pool_tasks_total").get(), 100);
+        assert_eq!(
+            tracer.stage_stats("pool_task").total.count(),
+            100,
+            "worker spans must reach the caller's tracer"
+        );
+        assert_eq!(registry.gauge("drafts_pool_max_queue_depth").get(), 25);
+        // Without an ambient tracer the pool records nothing new.
+        drop(_guard);
+        Pool::new(4).par_map(&items, |&x| x);
+        assert_eq!(registry.counter("drafts_pool_tasks_total").get(), 100);
     }
 
     #[test]

@@ -1,11 +1,19 @@
-//! Server counters and the `/v1/metrics` text exposition.
+//! Server metrics on the workspace [`obs`] registry, and the
+//! `/v1/metrics` text exposition.
 //!
-//! Plain atomics — the counters are monotone and independently updated,
-//! so relaxed ordering is sufficient everywhere. The exposition format is
-//! the usual `name{label="value"} count` text form, rendered in a fixed
-//! order so the output is a pure function of the counter values.
+//! [`Metrics`] owns the process [`Registry`] and [`Tracer`]: the legacy
+//! counters (requests per route, connections, shed, status classes,
+//! panics, degraded quotes) register first in their historical order, so
+//! the exposition is a **strict superset** of the pre-obs output — old
+//! names, old order, new metrics appended. Everything else registers in
+//! one canonical sequence here at construction: per-stage span
+//! histograms, pool counters, replay-chaos counters. The service's own
+//! cache/health/fault counters attach when a [`crate::Server`] boots
+//! (`DraftsService::register_metrics`), again in canonical order — so
+//! two boots of the same service render byte-identical expositions under
+//! virtual time.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use obs::{Counter, Registry, Tracer};
 
 /// The routes the server distinguishes in its counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +51,17 @@ impl Route {
         }
     }
 
+    /// Span stage name for this route's request handling.
+    pub fn stage(self) -> &'static str {
+        match self {
+            Route::Graphs => "http_graphs",
+            Route::Bid => "http_bid",
+            Route::Health => "http_health",
+            Route::Metrics => "http_metrics",
+            Route::Other => "http_other",
+        }
+    }
+
     fn index(self) -> usize {
         match self {
             Route::Graphs => 0,
@@ -54,42 +73,135 @@ impl Route {
     }
 }
 
-/// Shared server counters.
-#[derive(Debug, Default)]
+/// Pool metric names pre-registered for the exposition (the work-stealing
+/// pool records into whichever registry is ambient when it runs).
+const POOL_METRICS: [&str; 3] = [
+    "drafts_pool_tasks_total",
+    "drafts_pool_steals_total",
+    "drafts_pool_max_queue_depth",
+];
+
+/// Replay-chaos counters (`provisioner::metrics::ReplayMetrics` exports
+/// into these after a replay).
+const REPLAY_METRICS: [&str; 3] = [
+    "drafts_replay_requeues_total",
+    "drafts_replay_capacity_failures_total",
+    "drafts_replay_throttle_failures_total",
+];
+
+/// Shared server metrics: counter handles plus the process registry and
+/// span tracer.
+#[derive(Debug, Clone)]
 pub struct Metrics {
-    /// Accepted connections handed to the worker pool.
-    pub connections: AtomicU64,
+    registry: Registry,
+    tracer: Tracer,
+    requests: [Counter; 5],
+    /// Admitted connections, counted as a worker picks each one up (so
+    /// the count is ordered before the connection's own requests).
+    pub connections: Counter,
     /// Connections refused with 503 because the accept queue was full.
-    pub shed: AtomicU64,
-    /// Requests served, by route.
-    requests: [AtomicU64; 5],
-    /// Responses by status class.
-    pub status_2xx: AtomicU64,
+    pub shed: Counter,
+    /// 2xx responses.
+    pub status_2xx: Counter,
     /// 4xx responses.
-    pub status_4xx: AtomicU64,
+    pub status_4xx: Counter,
     /// 5xx responses.
-    pub status_5xx: AtomicU64,
+    pub status_5xx: Counter,
     /// Handler panics converted to 500s (the worker survives).
-    pub handler_panics: AtomicU64,
+    pub handler_panics: Counter,
     /// Requests whose quote was served from a degraded (no-guarantee)
     /// feed.
-    pub degraded_quotes: AtomicU64,
+    pub degraded_quotes: Counter,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Metrics {
-    /// Fresh zeroed counters.
+    /// Fresh zeroed metrics, span journal disabled.
     pub fn new() -> Self {
-        Self::default()
+        Metrics::build(None)
+    }
+
+    /// Fresh metrics with a bounded span journal of `capacity` events
+    /// (served at `/v1/_debug/trace` when debug routes are on).
+    pub fn with_journal(capacity: usize) -> Self {
+        Metrics::build(Some(capacity))
+    }
+
+    fn build(journal: Option<usize>) -> Self {
+        let registry = Registry::new();
+        // Historical names first, historical order: the exposition stays
+        // a strict superset of the pre-obs `/v1/metrics` output.
+        let requests = Route::ALL.map(|route| {
+            registry.counter(&format!(
+                "drafts_requests_total{{route=\"{}\"}}",
+                route.label()
+            ))
+        });
+        let connections = registry.counter("drafts_connections_total");
+        let shed = registry.counter("drafts_shed_total");
+        let status_2xx = registry.counter("drafts_responses_2xx_total");
+        let status_4xx = registry.counter("drafts_responses_4xx_total");
+        let status_5xx = registry.counter("drafts_responses_5xx_total");
+        let handler_panics = registry.counter("drafts_handler_panics_total");
+        let degraded_quotes = registry.counter("drafts_degraded_quotes_total");
+
+        let tracer = match journal {
+            Some(capacity) => Tracer::with_journal(registry.clone(), capacity),
+            None => Tracer::new(registry.clone()),
+        };
+        // Stage histograms register here, once, in canonical order —
+        // first-use registration from concurrent workers would make the
+        // exposition order racy across boots.
+        tracer.preregister(&Route::ALL.map(Route::stage));
+        tracer.preregister(drafts_core::service::SERVICE_STAGES);
+        for name in POOL_METRICS {
+            if name.ends_with("_depth") {
+                registry.gauge(name);
+            } else {
+                registry.counter(name);
+            }
+        }
+        for name in REPLAY_METRICS {
+            registry.counter(name);
+        }
+
+        Metrics {
+            registry,
+            tracer,
+            requests,
+            connections,
+            shed,
+            status_2xx,
+            status_4xx,
+            status_5xx,
+            handler_panics,
+            degraded_quotes,
+        }
+    }
+
+    /// The process metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The span tracer workers install.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Counts one request on `route`.
     pub fn count_request(&self, route: Route) {
-        self.requests[route.index()].fetch_add(1, Ordering::Relaxed);
+        self.requests[route.index()].inc();
     }
 
     /// Requests served on `route`.
     pub fn requests(&self, route: Route) -> u64 {
-        self.requests[route.index()].load(Ordering::Relaxed)
+        self.requests[route.index()].get()
     }
 
     /// Counts one response with `status`.
@@ -99,7 +211,7 @@ impl Metrics {
             400..=499 => &self.status_4xx,
             _ => &self.status_5xx,
         };
-        slot.fetch_add(1, Ordering::Relaxed);
+        slot.inc();
     }
 
     /// Total requests across every route.
@@ -107,29 +219,10 @@ impl Metrics {
         Route::ALL.iter().map(|&r| self.requests(r)).sum()
     }
 
-    /// Renders the text exposition served at `/v1/metrics`.
+    /// Renders the text exposition served at `/v1/metrics`: the full
+    /// registry, insertion-ordered (legacy names lead).
     pub fn render_text(&self) -> String {
-        let mut out = String::new();
-        for route in Route::ALL {
-            out.push_str(&format!(
-                "drafts_requests_total{{route=\"{}\"}} {}\n",
-                route.label(),
-                self.requests(route)
-            ));
-        }
-        let gauges: [(&str, &AtomicU64); 7] = [
-            ("drafts_connections_total", &self.connections),
-            ("drafts_shed_total", &self.shed),
-            ("drafts_responses_2xx_total", &self.status_2xx),
-            ("drafts_responses_4xx_total", &self.status_4xx),
-            ("drafts_responses_5xx_total", &self.status_5xx),
-            ("drafts_handler_panics_total", &self.handler_panics),
-            ("drafts_degraded_quotes_total", &self.degraded_quotes),
-        ];
-        for (name, counter) in gauges {
-            out.push_str(&format!("{name} {}\n", counter.load(Ordering::Relaxed)));
-        }
-        out
+        self.registry.render_text()
     }
 }
 
@@ -161,5 +254,53 @@ mod tests {
         let b = text.find("route=\"bid\"").unwrap();
         let h = text.find("route=\"health\"").unwrap();
         assert!(g < b && b < h);
+    }
+
+    #[test]
+    fn exposition_is_a_strict_superset_of_the_pre_obs_output() {
+        // The pre-obs exposition, in its exact order; every line must
+        // survive as a prefix of the migrated output.
+        let legacy = "\
+drafts_requests_total{route=\"graphs\"} 0
+drafts_requests_total{route=\"bid\"} 0
+drafts_requests_total{route=\"health\"} 0
+drafts_requests_total{route=\"metrics\"} 0
+drafts_requests_total{route=\"other\"} 0
+drafts_connections_total 0
+drafts_shed_total 0
+drafts_responses_2xx_total 0
+drafts_responses_4xx_total 0
+drafts_responses_5xx_total 0
+drafts_handler_panics_total 0
+drafts_degraded_quotes_total 0
+";
+        let text = Metrics::new().render_text();
+        assert!(
+            text.starts_with(legacy),
+            "legacy exposition must lead the output:\n{text}"
+        );
+        assert!(text.len() > legacy.len(), "new metrics must be appended");
+        // The new families are present.
+        for needle in [
+            "drafts_stage_total_ns_count{stage=\"http_bid\"} 0",
+            "drafts_stage_self_ns_count{stage=\"http_bid\"} 0",
+            "drafts_stage_total_ns_count{stage=\"qbets_price\"} 0",
+            "drafts_pool_tasks_total 0",
+            "drafts_replay_requeues_total 0",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn spans_record_into_route_stage_histograms() {
+        let m = Metrics::new();
+        let _guard = m.tracer().install();
+        {
+            let _span = obs::span(Route::Bid.stage());
+        }
+        assert!(m
+            .render_text()
+            .contains("drafts_stage_total_ns_count{stage=\"http_bid\"} 1"));
     }
 }

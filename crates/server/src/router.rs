@@ -79,6 +79,9 @@ impl Router {
     pub fn handle(&self, req: &Request, metrics: &Metrics) -> Response {
         let route = Self::route_of(&req.path);
         metrics.count_request(route);
+        // Root span of the request's stage tree (a no-op unless the
+        // calling thread installed a tracer — workers do).
+        let _span = obs::span(route.stage());
         if req.method != "GET" {
             return Response::error(405, "only GET is supported");
         }
@@ -88,12 +91,56 @@ impl Router {
             Route::Health => self.health(req),
             Route::Metrics => Response::text(200, metrics.render_text()),
             Route::Other => {
-                if self.debug_routes && req.path == "/v1/_debug/panic" {
-                    panic!("debug panic route hit");
+                if self.debug_routes {
+                    if req.path == "/v1/_debug/panic" {
+                        panic!("debug panic route hit");
+                    }
+                    if req.path == "/v1/_debug/trace" {
+                        return Self::trace(req, metrics);
+                    }
                 }
                 Response::error(404, "no such route")
             }
         }
+    }
+
+    /// `/v1/_debug/trace?n=` — the newest `n` closed spans from the
+    /// wall-clock journal, oldest first. 404 when journaling is off.
+    /// This output is explicitly wall clock and therefore exempt from
+    /// the byte-determinism contract.
+    fn trace(req: &Request, metrics: &Metrics) -> Response {
+        let Some(journal) = metrics.tracer().journal() else {
+            return Response::error(404, "span journal disabled");
+        };
+        let n = match req.query_param("n") {
+            None => 64,
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) => n,
+                Err(_) => return Response::error(400, "n must be an integer"),
+            },
+        };
+        let events = journal.snapshot();
+        let skip = events.len().saturating_sub(n);
+        let items: Vec<Json> = events[skip..]
+            .iter()
+            .map(|e| {
+                Json::obj(vec![
+                    ("seq", Json::num_u64(e.seq)),
+                    ("stage", Json::str(e.stage)),
+                    ("depth", Json::num_u64(u64::from(e.depth))),
+                    ("start_ns", Json::num_u64(e.start_ns)),
+                    ("dur_ns", Json::num_u64(e.dur_ns)),
+                ])
+            })
+            .collect();
+        Response::json(
+            200,
+            Json::obj(vec![
+                ("capacity", Json::num_u64(journal.capacity() as u64)),
+                ("events", Json::Arr(items)),
+            ])
+            .render(),
+        )
     }
 
     fn now_of(&self, req: &Request) -> Result<u64, Response> {
@@ -174,9 +221,7 @@ impl Router {
         match self.service.cheapest_bid(p, duration, now) {
             Some(quote) => {
                 if quote.degraded {
-                    metrics
-                        .degraded_quotes
-                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    metrics.degraded_quotes.inc();
                 }
                 Response::json(200, wire::bid_quote_json(self.catalog, &quote).render())
             }

@@ -55,8 +55,13 @@ pub struct ServerConfig {
     pub max_requests_per_conn: usize,
     /// `Retry-After` seconds advertised on shed connections.
     pub retry_after_secs: u32,
-    /// Enables `/v1/_debug/panic` for the panic-isolation stress test.
+    /// Enables `/v1/_debug/panic` and `/v1/_debug/trace` (stress tests
+    /// and profiling only).
     pub debug_routes: bool,
+    /// Span-journal capacity in events; `0` disables journaling (the
+    /// default — span histograms still record, only the per-event ring
+    /// buffer is off).
+    pub trace_journal: usize,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +73,7 @@ impl Default for ServerConfig {
             max_requests_per_conn: 1024,
             retry_after_secs: 1,
             debug_routes: false,
+            trace_journal: 0,
         }
     }
 }
@@ -154,6 +160,10 @@ struct Shared {
     /// Set when a drain has begun: keep-alive loops close after their
     /// current request.
     draining: AtomicBool,
+    /// Connections pushed onto the queue (the drain invariant's side of
+    /// the ledger; the `connections` *metric* counts on worker pick-up so
+    /// the exposition stays deterministic for sequential clients).
+    admitted: AtomicU64,
     /// Connections fully served.
     served: AtomicU64,
 }
@@ -179,12 +189,21 @@ impl Server {
         assert!(cfg.accept_queue >= 1, "need a non-empty accept queue");
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        let metrics = if cfg.trace_journal > 0 {
+            Metrics::with_journal(cfg.trace_journal)
+        } else {
+            Metrics::new()
+        };
+        // Expose the service's cache/health/fault counters in the same
+        // registry, at boot, so the exposition order is canonical.
+        router.service().register_metrics(metrics.registry());
         let shared = Arc::new(Shared {
             queue: ConnQueue::new(cfg.accept_queue),
             router,
-            metrics: Arc::new(Metrics::new()),
+            metrics: Arc::new(metrics),
             cfg,
             draining: AtomicBool::new(false),
+            admitted: AtomicU64::new(0),
             served: AtomicU64::new(0),
         });
 
@@ -244,10 +263,10 @@ impl Server {
         }
         let metrics = &self.shared.metrics;
         let report = DrainReport {
-            admitted: metrics.connections.load(Ordering::Relaxed),
+            admitted: self.shared.admitted.load(Ordering::Relaxed),
             served: self.shared.served.load(Ordering::Relaxed),
-            shed: metrics.shed.load(Ordering::Relaxed),
-            handler_panics: metrics.handler_panics.load(Ordering::Relaxed),
+            shed: metrics.shed.get(),
+            handler_panics: metrics.handler_panics.get(),
         };
         assert_eq!(
             report.admitted, report.served,
@@ -277,7 +296,7 @@ fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
         }
         match shared.queue.try_push(conn) {
             Ok(()) => {
-                shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                shared.admitted.fetch_add(1, Ordering::Relaxed);
             }
             Err(conn) => shed(conn, shared),
         }
@@ -286,7 +305,7 @@ fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
 
 /// Refuses a connection with 503 + `Retry-After` and closes it.
 fn shed(conn: TcpStream, shared: &Shared) {
-    shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.shed.inc();
     let _ = conn.set_write_timeout(Some(shared.cfg.connection_deadline));
     let mut conn = conn;
     let resp = Response::overloaded(shared.cfg.retry_after_secs);
@@ -295,14 +314,22 @@ fn shed(conn: TcpStream, shared: &Shared) {
 }
 
 fn worker_loop(shared: &Shared) {
+    // Every span opened while this worker handles requests records into
+    // the server's tracer (per-stage histograms + optional journal).
+    let _tracing = shared.metrics.tracer().install();
     while let Some(conn) = shared.queue.pop() {
+        // Counted here — not in the acceptor — so the increment is
+        // ordered before any request on this connection is handled: a
+        // sequential client always sees its own connection in
+        // `/v1/metrics`, keeping the exposition byte-deterministic.
+        shared.metrics.connections.inc();
         // Panic isolation at the connection level too: a torn transport
         // or handler bug on one connection never kills the worker.
         let result = panic::catch_unwind(AssertUnwindSafe(|| {
             serve_connection(conn, shared);
         }));
         if result.is_err() {
-            shared.metrics.handler_panics.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.handler_panics.inc();
         }
         shared.served.fetch_add(1, Ordering::Relaxed);
     }
@@ -362,7 +389,7 @@ fn handle_isolated(req: &Request, shared: &Shared) -> Response {
     })) {
         Ok(resp) => resp,
         Err(_) => {
-            shared.metrics.handler_panics.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.handler_panics.inc();
             Response::error(500, "internal handler panic")
         }
     }

@@ -24,6 +24,7 @@
 use crate::history::PriceHistory;
 use crate::types::Combo;
 use crate::{DAY, HOUR, MINUTE};
+use obs::{Counter, Registry};
 use simrng::{Rng, StreamFactory};
 use std::sync::Arc;
 use tsforecast::TimeSeries;
@@ -163,6 +164,11 @@ pub trait FeedSource: Send + Sync {
 
     /// Polls the feed at `now`.
     fn poll(&self, now: u64, attempt: u32) -> Result<Arc<PriceHistory>, FeedError>;
+
+    /// Attaches this feed's own counters (if any) to `registry`, called
+    /// once at boot by whoever owns the exposition. The default — and the
+    /// clean feed — exposes nothing.
+    fn register_metrics(&self, _registry: &Registry) {}
 }
 
 /// The perfect feed: every update visible the instant it happens.
@@ -190,6 +196,29 @@ impl FeedSource for CleanFeed {
     fn poll(&self, _now: u64, _attempt: u32) -> Result<Arc<PriceHistory>, FeedError> {
         Ok(self.history.clone())
     }
+}
+
+/// Injected-fault and rejected-poll counters for one [`FaultyFeed`].
+///
+/// The schedule-derived kinds (drops, duplicates, corruptions, reorders)
+/// are fixed totals set when the feed samples its delivery schedule at
+/// construction; the poll-time kinds (outage, throttle rejections) count
+/// live as clients poll. [`FeedSource::register_metrics`] exposes all of
+/// them per combo under `drafts_feed_faults_total{combo=...,kind=...}`.
+#[derive(Debug, Clone, Default)]
+pub struct FaultCounters {
+    /// Updates dropped from the schedule (never delivered).
+    pub drops: Counter,
+    /// Extra deliveries of an already-delivered update.
+    pub duplicates: Counter,
+    /// Updates whose price ticks were corrupted in transit.
+    pub corruptions: Counter,
+    /// Updates given an extra reordering delay.
+    pub reorders: Counter,
+    /// Polls rejected inside an outage window.
+    pub outage_polls: Counter,
+    /// Polls rejected by API throttling.
+    pub throttled_polls: Counter,
 }
 
 /// One delivery of one (possibly corrupted) update.
@@ -224,6 +253,8 @@ pub struct FaultyFeed {
     /// among updates `0..=k` (prefix max), i.e. when the contiguous prefix
     /// of length `k + 1` becomes fully visible.
     prefix_delivery: Vec<u64>,
+    /// Injected-fault totals and live poll-rejection counters.
+    faults: FaultCounters,
 }
 
 impl FaultyFeed {
@@ -235,8 +266,10 @@ impl FaultyFeed {
         plan.validate();
         let combo = truth.combo();
         let factory = StreamFactory::new(plan.seed);
+        let faults = FaultCounters::default();
         let outages = Self::sample_outages(&truth, &plan, &factory, combo);
-        let events = Self::sample_deliveries(&truth, &plan, &factory, combo, &outages);
+        let events =
+            Self::sample_deliveries(&truth, &plan, &factory, combo, &outages, &faults);
 
         // The eventually-delivered series: every delivered timestamp once,
         // in time order (duplicates carry identical ticks, so keep-first).
@@ -262,6 +295,7 @@ impl FaultyFeed {
             outages,
             delivered,
             prefix_delivery,
+            faults,
         }
     }
 
@@ -302,6 +336,7 @@ impl FaultyFeed {
         factory: &StreamFactory,
         combo: Combo,
         outages: &[(u64, u64)],
+        faults: &FaultCounters,
     ) -> Vec<DeliveryEvent> {
         let mut rng = factory.stream("feed-faults", combo.key());
         let defer = |t: u64| defer_past_outages(t, outages);
@@ -322,14 +357,17 @@ impl FaultyFeed {
             let u_corrupt_mag = rng.next_f64();
 
             if u_drop < plan.drop_prob {
+                faults.drops.inc();
                 continue;
             }
             let delivered_ticks = if u_corrupt < plan.corrupt_prob {
+                faults.corruptions.inc();
                 corrupt_ticks(ticks, u_corrupt_mag, plan.corrupt_rel)
             } else {
                 ticks
             };
             let reorder = if u_reorder < plan.reorder_prob {
+                faults.reorders.inc();
                 (u_reorder_extra * plan.reorder_max_secs as f64) as u64
             } else {
                 0
@@ -341,6 +379,7 @@ impl FaultyFeed {
                 ticks: delivered_ticks,
             });
             if u_dup < plan.duplicate_prob {
+                faults.duplicates.inc();
                 let dup_gap = 1 + (u_dup_delay * plan.reorder_max_secs.max(MINUTE) as f64) as u64;
                 events.push(DeliveryEvent {
                     delivered_at: defer(delivered_at + dup_gap),
@@ -366,6 +405,12 @@ impl FaultyFeed {
     /// The full perturbed series a patient client eventually holds.
     pub fn delivered(&self) -> &Arc<PriceHistory> {
         &self.delivered
+    }
+
+    /// The feed's fault counters: injected totals fixed at construction
+    /// plus live poll-rejection counts.
+    pub fn fault_counters(&self) -> &FaultCounters {
+        &self.faults
     }
 
     /// The outage windows, ascending and non-overlapping.
@@ -407,6 +452,7 @@ impl FeedSource for FaultyFeed {
     /// from the full API response holds.
     fn poll(&self, now: u64, attempt: u32) -> Result<Arc<PriceHistory>, FeedError> {
         if let Some(until) = self.outage_at(now) {
+            self.faults.outage_polls.inc();
             return Err(FeedError::Outage { until });
         }
         if self.plan.throttle_prob > 0.0 {
@@ -420,6 +466,7 @@ impl FeedSource for FaultyFeed {
                 .wrapping_add(attempt as u64);
             let u = hash_prob(self.plan.seed, "feed-throttle", index);
             if u < self.plan.throttle_prob {
+                self.faults.throttled_polls.inc();
                 return Err(FeedError::Throttled);
             }
         }
@@ -432,6 +479,26 @@ impl FeedSource for FaultyFeed {
         pairs.dedup_by_key(|&mut (t, _)| t);
         let series: TimeSeries = pairs.into_iter().collect();
         Ok(Arc::new(PriceHistory::new(self.truth.combo(), series)))
+    }
+
+    /// Exposes the per-kind fault counters, labelled by combo so several
+    /// faulty feeds coexist in one registry.
+    fn register_metrics(&self, registry: &Registry) {
+        let combo = self.truth.combo();
+        let label = format!("{}/{}", combo.az, combo.ty.0);
+        for (kind, counter) in [
+            ("drop", &self.faults.drops),
+            ("duplicate", &self.faults.duplicates),
+            ("corrupt", &self.faults.corruptions),
+            ("reorder", &self.faults.reorders),
+            ("outage_poll", &self.faults.outage_polls),
+            ("throttled_poll", &self.faults.throttled_polls),
+        ] {
+            registry.attach_counter(
+                &format!("drafts_feed_faults_total{{combo=\"{label}\",kind=\"{kind}\"}}"),
+                counter,
+            );
+        }
     }
 }
 

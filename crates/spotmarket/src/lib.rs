@@ -46,7 +46,9 @@ pub mod tracegen;
 pub mod types;
 
 pub use catalog::Catalog;
-pub use faults::{CleanFeed, FaultPlan, FaultyFeed, FeedError, FeedSource, LaunchFaults};
+pub use faults::{
+    CleanFeed, FaultCounters, FaultPlan, FaultyFeed, FeedError, FeedSource, LaunchFaults,
+};
 pub use history::PriceHistory;
 pub use price::Price;
 pub use types::{Az, Combo, Region, TypeId};

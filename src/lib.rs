@@ -42,6 +42,7 @@
 
 pub use backtest as backtesting;
 pub use drafts_core as core;
+pub use obs;
 pub use parallel;
 pub use provisioner as platform;
 pub use simrng as rng;

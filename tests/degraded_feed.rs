@@ -108,6 +108,78 @@ fn concurrent_fanout_is_single_flighted() {
     }
 }
 
+#[test]
+fn fault_counters_match_the_injected_plan_totals() {
+    let truth = Arc::new(history(21));
+    let plan = FaultPlan::with_intensity(20170202, 1.0);
+    let feed = Arc::new(FaultyFeed::new(truth.clone(), plan));
+    let counters = feed.fault_counters();
+
+    // The schedule kinds are fixed at construction and independently
+    // recoverable from the delivered series: every dropped update is a
+    // missing timestamp, every corruption a changed value at a kept one
+    // (corruption always perturbs — a no-op tick never counts).
+    let delivered = feed.delivered().clone();
+    let drops = (truth.len() - delivered.len()) as u64;
+    assert!(drops > 0, "hostile plan must drop updates");
+    assert_eq!(counters.drops.get(), drops);
+    let mut corrupted = 0u64;
+    let mut ti = 0usize;
+    for k in 0..delivered.len() {
+        let t = delivered.time(k);
+        while truth.time(ti) < t {
+            ti += 1;
+        }
+        assert_eq!(truth.time(ti), t, "delivered times must be a subset");
+        if truth.series().values()[ti] != delivered.series().values()[k] {
+            corrupted += 1;
+        }
+    }
+    assert_eq!(counters.corruptions.get(), corrupted);
+    assert!(counters.duplicates.get() > 0);
+    assert!(counters.reorders.get() > 0);
+
+    // The poll-time kinds count live: exactly one increment per rejected
+    // poll, matching the errors the client actually saw.
+    let (mut outages, mut throttles) = (0u64, 0u64);
+    for now in (0..30 * DAY).step_by(900) {
+        match feed.poll(now, 0) {
+            Err(FeedError::Outage { .. }) => outages += 1,
+            Err(FeedError::Throttled) => throttles += 1,
+            Ok(_) => {}
+        }
+    }
+    assert!(outages > 0 && throttles > 0, "hostile plan must reject polls");
+    assert_eq!(counters.outage_polls.get(), outages);
+    assert_eq!(counters.throttled_polls.get(), throttles);
+
+    // A twin feed from the same plan injects the identical totals.
+    let twin = FaultyFeed::new(truth.clone(), plan);
+    let tc = twin.fault_counters();
+    assert_eq!(counters.drops.get(), tc.drops.get());
+    assert_eq!(counters.duplicates.get(), tc.duplicates.get());
+    assert_eq!(counters.corruptions.get(), tc.corruptions.get());
+    assert_eq!(counters.reorders.get(), tc.reorders.get());
+
+    // Booting a service over the feed exposes the same totals in the
+    // registry, labelled by combo.
+    let registry = drafts::obs::Registry::new();
+    let mut svc = DraftsService::new(service_cfg());
+    svc.register_feed(feed.clone());
+    svc.register_metrics(&registry);
+    let text = registry.render_text();
+    let label = format!("{}/{}", combo().az, combo().ty.0);
+    assert!(
+        text.contains(&format!(
+            "drafts_feed_faults_total{{combo=\"{label}\",kind=\"drop\"}} {drops}\n"
+        )),
+        "missing drop line in:\n{text}"
+    );
+    assert!(text.contains(&format!(
+        "drafts_feed_faults_total{{combo=\"{label}\",kind=\"outage_poll\"}} {outages}\n"
+    )));
+}
+
 /// A feed with one fixed outage window.
 struct OutageFeed {
     inner: CleanFeed,

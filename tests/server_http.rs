@@ -160,9 +160,7 @@ fn saturated_accept_queue_sheds_503_and_never_hangs() {
     let ok = results.iter().filter(|(s, _)| *s == 200).count();
     assert_eq!(shed + ok, 8, "unexpected statuses: {results:?}");
     assert!(shed >= 1, "flooding a full queue must shed");
-    assert!(
-        srv.metrics().shed.load(std::sync::atomic::Ordering::Relaxed) >= shed as u64
-    );
+    assert!(srv.metrics().shed.get() >= shed as u64);
 
     // The shed response carries the backoff hint.
     if let Some((_, body)) = results.iter().find(|(s, _)| *s == 503) {
@@ -174,11 +172,11 @@ fn saturated_accept_queue_sheds_503_and_never_hangs() {
 
     // Late requests succeed once the flood clears.
     let mut client = Client::new(addr, Duration::from_secs(5));
-    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let waited = obs::Stopwatch::start();
     loop {
         match client.get("/v1/health") {
             Ok((200, _)) => break,
-            _ if std::time::Instant::now() < deadline => {
+            _ if waited.elapsed() < Duration::from_secs(5) => {
                 std::thread::sleep(Duration::from_millis(50))
             }
             other => panic!("server never recovered: {other:?}"),
@@ -264,13 +262,7 @@ fn handler_panics_are_isolated_from_other_connections_and_workers() {
     });
 
     let metrics = srv.metrics();
-    assert_eq!(
-        metrics
-            .handler_panics
-            .load(std::sync::atomic::Ordering::Relaxed),
-        20,
-        "every panic is counted"
-    );
+    assert_eq!(metrics.handler_panics.get(), 20, "every panic is counted");
 
     // The pool still serves real queries afterwards.
     let mut client = Client::new(addr, Duration::from_secs(5));
@@ -285,4 +277,92 @@ fn handler_panics_are_isolated_from_other_connections_and_workers() {
     let report = srv.shutdown();
     assert_eq!(report.admitted, report.served);
     assert_eq!(report.handler_panics, 20);
+}
+
+#[test]
+fn metrics_exposition_is_byte_identical_across_two_boots() {
+    // Two independently booted servers, driven through the identical
+    // sequential request sequence, must render byte-identical
+    // `/v1/metrics` expositions: every counter — requests per route,
+    // cache hits/misses, computes, health transitions, stage span counts
+    // — is a pure function of (seed, request sequence) under virtual
+    // time. Only `_count` lines are exposed for the span histograms, so
+    // wall-clock durations never leak into the body.
+    let a = start(81, ServerConfig::default());
+    let b = start(81, ServerConfig::default());
+    for path in PATHS {
+        assert_eq!(raw_get(a.addr(), path), raw_get(b.addr(), path));
+    }
+    let ea = raw_get(a.addr(), "/v1/metrics");
+    let eb = raw_get(b.addr(), "/v1/metrics");
+    assert_eq!(ea, eb, "metrics exposition differs across boots");
+
+    let text = String::from_utf8(ea).unwrap();
+    // The migrated exposition is a strict superset of the legacy one:
+    // old names still present, new families appended.
+    for needle in [
+        "drafts_requests_total{route=\"graphs\"} 2",
+        "drafts_requests_total{route=\"bid\"} 2",
+        "drafts_connections_total",
+        "drafts_cache_hits_total",
+        "drafts_cache_misses_total",
+        "drafts_computes_total",
+        "drafts_health_transitions_total{to=\"fresh\"} 2",
+        "drafts_stage_total_ns_count{stage=\"http_graphs\"} 2",
+        "drafts_stage_self_ns_count{stage=\"qbets_price\"}",
+        "drafts_pool_tasks_total 0",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+    a.shutdown();
+    b.shutdown();
+}
+
+#[test]
+fn debug_trace_route_serves_the_span_journal() {
+    // Journal off: the route 404s even with debug routes enabled.
+    let plain = start_debug(82, ServerConfig::default());
+    let mut client = Client::new(plain.addr(), Duration::from_secs(5));
+    let (status, _) = client.get("/v1/_debug/trace").expect("trace get");
+    assert_eq!(status, 404, "journal disabled must 404");
+    drop(client);
+    plain.shutdown();
+
+    // Journal on: recent closed spans come back oldest-first with their
+    // stage labels and wall-clock durations.
+    let srv = start_debug(
+        82,
+        ServerConfig {
+            trace_journal: 64,
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = Client::new(srv.addr(), Duration::from_secs(5));
+    for path in PATHS {
+        let (status, _) = client.get(path).expect("warm-up get");
+        assert_eq!(status, 200);
+    }
+    let (status, body) = client.get("/v1/_debug/trace?n=8").expect("trace get");
+    assert_eq!(status, 200);
+    let doc = server::Json::parse(&String::from_utf8(body).unwrap()).unwrap();
+    assert_eq!(doc.get("capacity").unwrap().as_u64(), Some(64));
+    let events = doc.get("events").unwrap().as_arr().unwrap();
+    assert!(!events.is_empty() && events.len() <= 8);
+    let mut prev_seq = None;
+    for event in events {
+        let stage = event.get("stage").unwrap().as_str().unwrap();
+        assert!(
+            stage.starts_with("http_")
+                || stage.starts_with("svc_")
+                || stage.starts_with("qbets_"),
+            "unexpected stage {stage}"
+        );
+        let seq = event.get("seq").unwrap().as_u64().unwrap();
+        assert!(prev_seq.is_none_or(|p| seq > p), "events must be oldest-first");
+        prev_seq = Some(seq);
+    }
+    let (status, _) = client.get("/v1/_debug/trace?n=abc").expect("bad n");
+    assert_eq!(status, 400);
+    drop(client);
+    srv.shutdown();
 }
