@@ -58,6 +58,7 @@ pub mod optimizer;
 pub mod policy;
 pub mod predictor;
 pub mod service;
+pub mod snapshot;
 
 pub use graph::BidDurationGraph;
 pub use policy::BidPolicy;

@@ -208,12 +208,25 @@ impl<'a> DraftsPredictor<'a> {
 
     /// The bid grid the service publishes: the minimum bid, then +5% steps
     /// up to 4x (both configurable).
+    ///
+    /// Each factor is computed by index (`1 + i * step`) rather than by
+    /// accumulation: repeated `factor += step` drifts by an ulp per step,
+    /// so whether the last grid point clears the span boundary — and with
+    /// it the grid's length — would depend on float rounding of the walk
+    /// rather than on the configuration.
     pub fn bid_grid(&self, min_bid: Price) -> Vec<Price> {
-        let mut grid = Vec::new();
-        let mut factor = 1.0;
-        while factor <= self.cfg.grid_span + 1e-12 {
+        // Number of whole steps fitting in the span; the epsilon absorbs
+        // the one-ulp shortfall of quotients like 3.0 / 0.05.
+        let steps = (((self.cfg.grid_span - 1.0) / self.cfg.grid_step) + 1e-9).floor();
+        let steps = if steps.is_finite() && steps >= 0.0 {
+            steps as u64
+        } else {
+            0
+        };
+        let mut grid = Vec::with_capacity(steps as usize + 1);
+        for i in 0..=steps {
+            let factor = 1.0 + i as f64 * self.cfg.grid_step;
             grid.push(min_bid.scale(factor));
-            factor += self.cfg.grid_step;
         }
         grid.dedup();
         grid
@@ -412,6 +425,44 @@ mod tests {
         assert_eq!(grid.last(), Some(&Price::from_ticks(40_000)));
         assert_eq!(grid.len(), 61);
         assert!(grid.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn bid_grid_length_is_exact_for_any_step() {
+        // Regression: the grid used to accumulate `factor += step` under a
+        // 1e-12 epsilon, so its length depended on per-step rounding drift
+        // (60 additions of 0.05 do not land on 4.0 exactly). Factors are
+        // now computed by index: the length must equal the closed-form
+        // step count for every configuration, at any minimum bid.
+        let h = make_history(Archetype::Calm, 10, 6);
+        for (step, span, want) in [
+            (0.05, 4.0, 61),  // the paper's 5% grid to 4x
+            (0.10, 4.0, 31),
+            (0.25, 4.0, 13),
+            (0.05, 2.0, 21),
+            (0.01, 1.1, 11),  // fine steps: 10 additions of 0.01 overshoot 1.1
+        ] {
+            let cfg = DraftsConfig {
+                grid_step: step,
+                grid_span: span,
+                ..DraftsConfig::default()
+            };
+            let pred = DraftsPredictor::new(&h, cfg);
+            for min_ticks in [10_000u64, 9_973, 31] {
+                let grid = pred.bid_grid(Price::from_ticks(min_ticks));
+                // Tiny minimum bids can collapse adjacent factors onto the
+                // same tick (dedup); otherwise the count is exact.
+                if min_ticks >= 10_000 {
+                    assert_eq!(
+                        grid.len(),
+                        want,
+                        "step {step} span {span} min {min_ticks}"
+                    );
+                }
+                assert!(grid.len() <= want);
+                assert!(grid.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
     }
 
     #[test]

@@ -7,11 +7,31 @@
 //! the smallest guaranteeing any duration, in 5% increments up to 4x,
 //! recomputed every 15 minutes. Clients fetched the graphs over REST.
 //!
-//! Here the service is an in-process cache with the same contract: graphs
-//! are recomputed at most once per 15-minute bucket, are shared across
-//! callers (`Arc`), and clients never see data fresher than the bucket —
-//! exactly the staleness a polling REST client would experience. The
-//! machine-readable payload is [`BidDurationGraph::to_csv`].
+//! Here the service has the same contract: graphs are recomputed at most
+//! once per 15-minute bucket, are shared across callers (`Arc`), and
+//! clients never see data fresher than the bucket — exactly the staleness
+//! a polling REST client would experience. The machine-readable payload
+//! is [`BidDurationGraph::to_csv`].
+//!
+//! # Read path: published snapshots
+//!
+//! The combo map is sharded (FNV of the combo key → [`ServiceConfig::
+//! shards`] shards) and each shard publishes an immutable snapshot of its
+//! recently computed buckets through [`Swap`] — an epoch-guarded atomic
+//! pointer swap (see [`crate::snapshot`]). A steady-state fetch is one
+//! snapshot load plus a hash lookup: **no lock is acquired and nothing is
+//! computed**. Only a fetch that misses the snapshot (first query of a
+//! bucket, typically once per 15 minutes per shard) takes the slow path:
+//! it single-flights onto one leader, which recomputes every combo in the
+//! shard (fanning out on [`parallel::Pool`] when the shard holds several)
+//! and publishes the merged snapshot with one swap. Publication in one
+//! shard never stalls reads — or publications — in another.
+//!
+//! Snapshots retain the [`ServiceConfig::retain_buckets`] newest buckets
+//! per shard, so resident memory is O(combos × retained buckets), never
+//! O(buckets served): old buckets are evicted as new ones publish. The
+//! slow path counts its lock acquisitions in `drafts_read_locks_total`,
+//! which therefore reads 0 across any warm steady-state interval.
 //!
 //! # Degradation semantics
 //!
@@ -36,14 +56,16 @@
 //! from data older than the staleness budget** — guarantees weaken to
 //! "no guarantee"; they are never silently wrong.
 //!
-//! Concurrent fetches of the same `(combo, bucket)` are single-flighted:
+//! Concurrent fetches of the same `(shard, bucket)` are single-flighted:
 //! one caller computes, the rest block on a condvar and share the result,
-//! so `compute_count` equals the number of distinct buckets served.
+//! so `compute_count` equals the number of distinct `(combo, bucket)`
+//! pairs computed.
 
 use crate::graph::BidDurationGraph;
 use crate::predictor::{DraftsConfig, DraftsPredictor};
+use crate::snapshot::Swap;
 use obs::{Counter, Registry};
-use parallel::lock_clean;
+use parallel::{lock_clean, Pool};
 use spotmarket::faults::{CleanFeed, FeedSource};
 use spotmarket::{Combo, Price, PriceHistory};
 use std::collections::HashMap;
@@ -57,6 +79,7 @@ pub const SERVICE_STAGES: &[&str] = &[
     "svc_cheapest_bid",
     "svc_fetch",
     "svc_compute",
+    "svc_snapshot_swap",
     "svc_health",
     "qbets_price",
     "qbets_duration",
@@ -85,6 +108,14 @@ pub struct ServiceConfig {
     /// Base backoff between feed retries in seconds; doubles per attempt
     /// (deterministic: the retry clock is virtual).
     pub retry_backoff: u64,
+    /// Number of combo shards. Each shard publishes and evicts
+    /// independently, so publication in one never stalls reads in
+    /// another; 452 paper combos spread to ~28 per shard at the default.
+    pub shards: usize,
+    /// Refresh buckets retained per shard snapshot. Bounds resident
+    /// memory at O(combos × retain_buckets) while keeping recent buckets
+    /// servable lock-free for lagging or out-of-order `now` queries.
+    pub retain_buckets: usize,
 }
 
 impl Default for ServiceConfig {
@@ -97,6 +128,8 @@ impl Default for ServiceConfig {
             staleness_budget: spotmarket::HOUR,
             max_retries: 3,
             retry_backoff: 30,
+            shards: 16,
+            retain_buckets: 8,
         }
     }
 }
@@ -105,8 +138,20 @@ impl Default for ServiceConfig {
 /// denote the same level iff they agree at basis-point (1/100 of a
 /// percent) resolution. A discrete key cannot mis-match the way an
 /// epsilon comparison can.
+///
+/// Callers must validate with [`valid_probability`] first: the `as` cast
+/// saturates, so NaN and negative inputs collapse to key 0 and huge ones
+/// to `u32::MAX` rather than failing.
 pub fn probability_level_bp(p: f64) -> u32 {
     (p * 10_000.0).round() as u32
+}
+
+/// Whether `p` is a well-formed probability for level lookups: finite and
+/// in `(0, 1]`. Malformed values (NaN, infinities, zero, negatives, > 1)
+/// must be rejected *before* [`probability_level_bp`], whose saturating
+/// cast would otherwise alias them onto real levels (NaN → key 0).
+pub fn valid_probability(p: f64) -> bool {
+    p.is_finite() && p > 0.0 && p <= 1.0
 }
 
 /// The graphs published for one combo at one refresh bucket.
@@ -119,8 +164,12 @@ pub struct ComboGraphs {
 
 impl ComboGraphs {
     /// The graph at probability `p`, if published (matched at basis-point
-    /// resolution, see [`probability_level_bp`]).
+    /// resolution, see [`probability_level_bp`]). Malformed `p` (NaN,
+    /// non-finite, outside `(0, 1]`) never matches.
     pub fn at_probability(&self, p: f64) -> Option<&BidDurationGraph> {
+        if !valid_probability(p) {
+            return None;
+        }
         let key = probability_level_bp(p);
         self.graphs
             .iter()
@@ -212,10 +261,29 @@ struct LastGood {
     covered_until: u64,
 }
 
-/// A single-flight slot: the first fetcher of a `(combo, bucket)` computes
-/// while later ones wait here for the shared result.
+/// Responses built for every combo of one shard at one refresh bucket,
+/// keyed by combo key. `None` records a combo with no servable data for
+/// the bucket (the bucket's information set is fixed, so the negative
+/// result is as cacheable as a positive one).
+type BucketEntries = HashMap<u64, Option<GraphsResponse>>;
+
+/// The immutable published state of one shard: responses for its
+/// retained buckets. Readers receive the whole snapshot via one
+/// [`Swap::load`]; writers replace it wholesale.
+#[derive(Debug, Default)]
+struct ShardSnapshot {
+    /// `(combo key, bucket)` → that bucket's response for the combo.
+    entries: HashMap<(u64, u64), Option<GraphsResponse>>,
+    /// Retained buckets, ascending. Bounded by
+    /// [`ServiceConfig::retain_buckets`]; the smallest is evicted first.
+    buckets: Vec<u64>,
+}
+
+/// A single-flight slot: the first fetcher of a `(shard, bucket)`
+/// computes the whole shard's bucket while later ones wait here for the
+/// shared result.
 struct Flight {
-    state: Mutex<Option<Option<GraphsResponse>>>,
+    state: Mutex<Option<Option<Arc<BucketEntries>>>>,
     cv: Condvar,
 }
 
@@ -228,7 +296,7 @@ impl Flight {
     }
 
     /// Publishes the result (first writer wins) and wakes all waiters.
-    fn complete(&self, result: Option<GraphsResponse>) {
+    fn complete(&self, result: Option<Arc<BucketEntries>>) {
         let mut state = lock_clean(&self.state);
         if state.is_none() {
             *state = Some(result);
@@ -236,7 +304,7 @@ impl Flight {
         }
     }
 
-    fn wait(&self) -> Option<GraphsResponse> {
+    fn wait(&self) -> Option<Arc<BucketEntries>> {
         let mut state = lock_clean(&self.state);
         loop {
             if let Some(result) = state.as_ref() {
@@ -250,6 +318,18 @@ impl Flight {
     }
 }
 
+/// FNV-1a over a combo key: the shard hash. Stable across platforms and
+/// processes, so shard assignment — and with it every per-shard counter
+/// and exposition — is deterministic.
+fn shard_index(key: u64, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
 /// The in-process DrAFTS service.
 ///
 /// Feeds are registered up front (the service "periodically queries the
@@ -259,19 +339,29 @@ impl Flight {
 pub struct DraftsService {
     cfg: ServiceConfig,
     feeds: HashMap<u64, Arc<dyn FeedSource>>,
-    cache: Mutex<HashMap<(u64, u64), GraphsResponse>>,
+    /// Per-shard published snapshots: the lock-free read path.
+    shards: Vec<Swap<Arc<ShardSnapshot>>>,
+    /// Combos per shard in stable key order (rebuilt on registration).
+    shard_combos: Vec<Vec<Combo>>,
+    /// Fans a multi-combo shard build across workers.
+    pool: Pool,
     last_good: Mutex<HashMap<u64, LastGood>>,
-    inflight: Mutex<HashMap<(u64, u64), Arc<Flight>>>,
-    /// Graph recomputations (== distinct buckets computed).
+    inflight: Mutex<HashMap<(usize, u64), Arc<Flight>>>,
+    /// Graph recomputations (== distinct (combo, bucket) pairs computed).
     computes: Counter,
     /// Feed poll retries after transient errors.
     feed_retries: Counter,
-    /// Bucket fetches answered from the cache.
+    /// Fetches answered from the published snapshot without locking.
     cache_hits: Counter,
-    /// Bucket fetches that led the computation (cache misses).
+    /// Shard-bucket builds led (snapshot misses that computed).
     cache_misses: Counter,
     /// Fetches that waited on another caller's in-flight computation.
     stampede_waits: Counter,
+    /// Snapshot publications (one atomic swap each).
+    snapshot_swaps: Counter,
+    /// Slow-path entries: fetches that had to acquire a lock because the
+    /// snapshot missed. Reads 0 across any warm steady-state interval.
+    read_locks: Counter,
     /// Computed-health transitions into each state (first observation of
     /// a combo counts as a transition into its initial state).
     health_transitions: [Counter; 3],
@@ -294,8 +384,9 @@ impl DraftsService {
     /// Creates a service.
     ///
     /// # Panics
-    /// Panics on a zero recompute period, an empty probability list, or a
-    /// staleness budget below the fresh window.
+    /// Panics on a zero recompute period, an empty probability list, a
+    /// staleness budget below the fresh window, or a zero shard or
+    /// retained-bucket count.
     pub fn new(cfg: ServiceConfig) -> Self {
         assert!(cfg.recompute_period > 0, "recompute period must be > 0");
         assert!(
@@ -306,11 +397,19 @@ impl DraftsService {
             cfg.staleness_budget >= cfg.fresh_for,
             "staleness budget below the fresh window"
         );
+        assert!(cfg.shards > 0, "at least one shard required");
+        assert!(cfg.retain_buckets > 0, "at least one retained bucket required");
         cfg.drafts.validate();
+        let shards = (0..cfg.shards)
+            .map(|_| Swap::new(Arc::new(ShardSnapshot::default())))
+            .collect();
+        let shard_combos = vec![Vec::new(); cfg.shards];
         Self {
             cfg,
             feeds: HashMap::new(),
-            cache: Mutex::new(HashMap::new()),
+            shards,
+            shard_combos,
+            pool: Pool::from_env(),
             last_good: Mutex::new(HashMap::new()),
             inflight: Mutex::new(HashMap::new()),
             computes: Counter::new(),
@@ -318,6 +417,8 @@ impl DraftsService {
             cache_hits: Counter::new(),
             cache_misses: Counter::new(),
             stampede_waits: Counter::new(),
+            snapshot_swaps: Counter::new(),
+            read_locks: Counter::new(),
             health_transitions: [Counter::new(), Counter::new(), Counter::new()],
             health_state: Mutex::new(HashMap::new()),
         }
@@ -333,6 +434,8 @@ impl DraftsService {
         registry.attach_counter("drafts_stampede_waits_total", &self.stampede_waits);
         registry.attach_counter("drafts_computes_total", &self.computes);
         registry.attach_counter("drafts_feed_retries_total", &self.feed_retries);
+        registry.attach_counter("drafts_snapshot_swaps_total", &self.snapshot_swaps);
+        registry.attach_counter("drafts_read_locks_total", &self.read_locks);
         for (state, counter) in ["fresh", "stale", "unavailable"]
             .iter()
             .zip(&self.health_transitions)
@@ -358,12 +461,20 @@ impl DraftsService {
     }
 
     /// Registers (or replaces) an arbitrary feed for its combo and
-    /// invalidates everything cached for the service.
+    /// invalidates everything the service has published.
     pub fn register_feed(&mut self, feed: Arc<dyn FeedSource>) {
         self.feeds.insert(feed.combo().key(), feed);
-        lock_clean(&self.cache).clear();
+        let mut shard_combos = vec![Vec::new(); self.cfg.shards];
+        for combo in self.combos() {
+            shard_combos[shard_index(combo.key(), self.cfg.shards)].push(combo);
+        }
+        self.shard_combos = shard_combos;
+        for shard in &self.shards {
+            shard.store(Arc::new(ShardSnapshot::default()));
+        }
         lock_clean(&self.last_good).clear();
         lock_clean(&self.health_state).clear();
+        lock_clean(&self.inflight).clear();
     }
 
     /// The combos the service knows about, in stable (key) order — so
@@ -439,8 +550,9 @@ impl DraftsService {
             .collect()
     }
 
-    /// Number of graph recomputations performed (cache + single-flight
-    /// instrumentation: equals the number of distinct buckets computed).
+    /// Number of graph recomputations performed (snapshot + single-flight
+    /// instrumentation: equals the number of distinct (combo, bucket)
+    /// pairs computed).
     pub fn compute_count(&self) -> u64 {
         self.computes.get()
     }
@@ -450,6 +562,36 @@ impl DraftsService {
         self.feed_retries.get()
     }
 
+    /// Number of slow-path lock acquisitions readers have performed. In a
+    /// warm steady state (every query inside an already-published bucket)
+    /// this does not advance — the acceptance gate for the lock-free read
+    /// path.
+    pub fn read_lock_count(&self) -> u64 {
+        self.read_locks.get()
+    }
+
+    /// Number of shard-snapshot publications performed.
+    pub fn snapshot_swap_count(&self) -> u64 {
+        self.snapshot_swaps.get()
+    }
+
+    /// Total `(combo, bucket)` entries resident across every shard
+    /// snapshot. Bounded by `combos × retain_buckets` regardless of how
+    /// many buckets have been served — the eviction guarantee.
+    pub fn resident_graphs(&self) -> usize {
+        self.shards.iter().map(|s| s.load().entries.len()).sum()
+    }
+
+    /// Pre-builds every shard's snapshot for `now`'s bucket, so a serving
+    /// process enters steady state before its first request: subsequent
+    /// same-bucket fetches are pure snapshot loads. Boot-time warm-up is
+    /// what makes `read_lock_count` stay 0 across a serve run.
+    pub fn warm(&self, now: u64) {
+        for combo in self.combos() {
+            let _ = self.fetch(combo, now);
+        }
+    }
+
     fn bucket(&self, now: u64) -> u64 {
         now / self.cfg.recompute_period
     }
@@ -457,10 +599,10 @@ impl DraftsService {
     /// Fetches the published graphs for `combo` as of `now`.
     ///
     /// Returns the graphs computed at the start of `now`'s refresh bucket;
-    /// repeated queries within a bucket hit the cache, and concurrent
-    /// first queries single-flight onto one computation. `None` when the
-    /// combo is unknown, or no data (current or last-good) exists by the
-    /// bucket time.
+    /// repeated queries within a bucket hit the published snapshot, and
+    /// concurrent first queries single-flight onto one computation. `None`
+    /// when the combo is unknown, or no data (current or last-good) exists
+    /// by the bucket time.
     pub fn graphs(&self, combo: Combo, now: u64) -> Option<Arc<ComboGraphs>> {
         self.fetch(combo, now).map(|r| r.graphs)
     }
@@ -468,64 +610,144 @@ impl DraftsService {
     /// Like [`Self::graphs`], with the feed-health metadata attached.
     pub fn fetch(&self, combo: Combo, now: u64) -> Option<GraphsResponse> {
         let _span = obs::span("svc_fetch");
-        let feed = self.feeds.get(&combo.key())?.clone();
-        let bucket = self.bucket(now);
-        let key = (combo.key(), bucket);
-        if let Some(hit) = lock_clean(&self.cache).get(&key) {
-            self.cache_hits.inc();
-            return Some(hit.clone());
+        let key = combo.key();
+        if !self.feeds.contains_key(&key) {
+            return None;
         }
+        let bucket = self.bucket(now);
+        let shard = shard_index(key, self.cfg.shards);
+        // Steady-state path: one snapshot load (wait-free, see
+        // `crate::snapshot`) and one hash probe. No lock, no compute.
+        let snap = self.shards[shard].load();
+        if let Some(entry) = snap.entries.get(&(key, bucket)) {
+            self.cache_hits.inc();
+            return entry.clone();
+        }
+        drop(snap);
+        self.fetch_slow(key, shard, bucket)
+    }
 
-        // Single-flight: first caller in computes, the rest wait.
+    /// Slow path: the snapshot misses `bucket`. Single-flight onto one
+    /// leader per `(shard, bucket)`; the leader builds every combo in the
+    /// shard and publishes the merged snapshot.
+    fn fetch_slow(&self, key: u64, shard: usize, bucket: u64) -> Option<GraphsResponse> {
+        self.read_locks.inc();
+        let fkey = (shard, bucket);
         let (flight, leader) = {
             let mut inflight = lock_clean(&self.inflight);
-            match inflight.get(&key) {
+            match inflight.get(&fkey) {
                 Some(f) => (f.clone(), false),
                 None => {
                     let f = Arc::new(Flight::new());
-                    inflight.insert(key, f.clone());
+                    inflight.insert(fkey, f.clone());
                     (f, true)
                 }
             }
         };
         if !leader {
             self.stampede_waits.inc();
-            return flight.wait();
+            return flight
+                .wait()
+                .and_then(|built| built.get(&key).cloned().flatten());
         }
 
         // Completion guard: even if the computation panics, waiters are
         // released (with `None`) and the slot is vacated.
         struct FlightGuard<'a> {
             svc: &'a DraftsService,
-            key: (u64, u64),
+            fkey: (usize, u64),
             flight: &'a Flight,
         }
         impl Drop for FlightGuard<'_> {
             fn drop(&mut self) {
                 self.flight.complete(None);
-                lock_clean(&self.svc.inflight).remove(&self.key);
+                lock_clean(&self.svc.inflight).remove(&self.fkey);
             }
         }
         let _guard = FlightGuard {
             svc: self,
-            key,
+            fkey,
             flight: &flight,
         };
 
-        // Double-check: a previous leader may have populated the cache
-        // between our miss and our taking leadership.
-        if let Some(hit) = lock_clean(&self.cache).get(&key) {
+        // Double-check: a previous leader may have published this bucket
+        // between our snapshot miss and our taking leadership.
+        let snap = self.shards[shard].load();
+        if snap.buckets.contains(&bucket) {
             self.cache_hits.inc();
-            flight.complete(Some(hit.clone()));
-            return Some(hit.clone());
+            let built: BucketEntries = self.shard_combos[shard]
+                .iter()
+                .map(|c| {
+                    let entry = snap.entries.get(&(c.key(), bucket));
+                    (c.key(), entry.cloned().flatten())
+                })
+                .collect();
+            let built = Arc::new(built);
+            flight.complete(Some(built.clone()));
+            return built.get(&key).cloned().flatten();
         }
+        drop(snap);
+
         self.cache_misses.inc();
-        let result = self.compute_bucket(feed.as_ref(), combo, bucket);
-        if let Some(r) = &result {
-            lock_clean(&self.cache).insert(key, r.clone());
+        let built = Arc::new(self.build_bucket(shard, bucket));
+        self.publish(shard, bucket, &built);
+        flight.complete(Some(built.clone()));
+        built.get(&key).cloned().flatten()
+    }
+
+    /// Recomputes every combo of `shard` for `bucket`, fanning out on the
+    /// pool when the shard holds more than one combo. Results are keyed
+    /// by combo and order-independent, so the parallel build is
+    /// deterministic.
+    fn build_bucket(&self, shard: usize, bucket: u64) -> BucketEntries {
+        let combos = &self.shard_combos[shard];
+        let responses = self.pool.par_map(combos, |combo| {
+            let feed = self
+                .feeds
+                .get(&combo.key())
+                .expect("shard combo lists track registered feeds");
+            self.compute_bucket(feed.as_ref(), *combo, bucket)
+        });
+        combos
+            .iter()
+            .map(|c| c.key())
+            .zip(responses)
+            .collect()
+    }
+
+    /// Merges `built` into `shard`'s published snapshot with one atomic
+    /// swap, evicting the oldest buckets beyond the retention window.
+    /// Concurrent publications of different buckets compose (the swap
+    /// cell serializes writers); a bucket older than the whole retained
+    /// window is skipped — its callers are already served through the
+    /// single-flight result.
+    fn publish(&self, shard: usize, bucket: u64, built: &Arc<BucketEntries>) {
+        let _span = obs::span("svc_snapshot_swap");
+        let published = self.shards[shard].rcu(|cur| {
+            let mut buckets = cur.buckets.clone();
+            if let Err(at) = buckets.binary_search(&bucket) {
+                buckets.insert(at, bucket);
+            }
+            while buckets.len() > self.cfg.retain_buckets {
+                buckets.remove(0);
+            }
+            if !buckets.contains(&bucket) {
+                return None;
+            }
+            let mut entries: HashMap<(u64, u64), Option<GraphsResponse>> = cur
+                .entries
+                .iter()
+                .filter(|((_, b), _)| buckets.contains(b))
+                .map(|(k, v)| (*k, v.clone()))
+                .collect();
+            for (k, v) in built.iter() {
+                entries.insert((*k, bucket), v.clone());
+            }
+            Some(Arc::new(ShardSnapshot { entries, buckets }))
+        });
+        if published {
+            self.snapshot_swaps.inc();
         }
-        flight.complete(result.clone());
-        result
     }
 
     /// Polls the feed (with retries) and computes the bucket's response.
@@ -715,6 +937,37 @@ mod tests {
     }
 
     #[test]
+    fn malformed_probabilities_never_match_a_published_level() {
+        // NaN and negatives saturate to basis-point key 0 under the `as`
+        // cast, and huge values to u32::MAX — none may alias a published
+        // level. `valid_probability` is the guard the routes use for 400s.
+        let (svc, combo) = service();
+        let g = svc.graphs(combo, 20 * spotmarket::DAY).unwrap();
+        for bad in [
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            -0.95,
+            0.0,
+            -0.0,
+            1.0000001,
+            95.0,
+        ] {
+            assert!(!valid_probability(bad), "{bad} must be invalid");
+            assert!(
+                g.at_probability(bad).is_none(),
+                "{bad} matched a published level"
+            );
+        }
+        assert!(valid_probability(0.95));
+        assert!(valid_probability(1.0));
+        assert!(valid_probability(f64::MIN_POSITIVE));
+        // The saturating aliasing the guard exists to stop:
+        assert_eq!(probability_level_bp(f64::NAN), 0);
+        assert_eq!(probability_level_bp(-5.0), 0);
+    }
+
+    #[test]
     fn duplicate_levels_resolve_to_the_first_published_graph() {
         // A graph set carrying two graphs at the same basis-point level
         // (e.g. 0.95 and 0.95004 after rounding) serves the first — the
@@ -845,11 +1098,89 @@ mod tests {
         let t0 = 20 * spotmarket::DAY;
         let a = svc.graphs(combo, t0).unwrap();
         let b = svc.graphs(combo, t0 + 60).unwrap(); // same 15-min bucket
-        assert!(Arc::ptr_eq(&a, &b), "same bucket must hit the cache");
+        assert!(Arc::ptr_eq(&a, &b), "same bucket must hit the snapshot");
         assert_eq!(svc.compute_count(), 1);
         let c = svc.graphs(combo, t0 + 15 * spotmarket::MINUTE).unwrap();
         assert!(!Arc::ptr_eq(&a, &c), "next bucket recomputes");
         assert_eq!(svc.compute_count(), 2);
+    }
+
+    #[test]
+    fn steady_state_reads_acquire_no_lock() {
+        // First query of a bucket is the one slow-path entry; every
+        // subsequent same-bucket read is a pure snapshot load.
+        let (svc, combo) = service();
+        let t0 = 20 * spotmarket::DAY;
+        let _ = svc.fetch(combo, t0).unwrap();
+        assert_eq!(svc.read_lock_count(), 1, "the build itself");
+        assert_eq!(svc.snapshot_swap_count(), 1);
+        let locks_warm = svc.read_lock_count();
+        for i in 0..100 {
+            let _ = svc.fetch(combo, t0 + i).unwrap();
+        }
+        assert_eq!(
+            svc.read_lock_count(),
+            locks_warm,
+            "steady-state fetches must not take the slow path"
+        );
+    }
+
+    #[test]
+    fn retained_buckets_stay_servable_without_recompute() {
+        // Non-monotonic `now` queries (a replay catching up, an explicit
+        // `?now=` probe) within the retention window hit the snapshot.
+        let (svc, combo) = service();
+        let t0 = 20 * spotmarket::DAY;
+        let period = 15 * spotmarket::MINUTE;
+        let _ = svc.graphs(combo, t0).unwrap();
+        let _ = svc.graphs(combo, t0 + period).unwrap();
+        assert_eq!(svc.compute_count(), 2);
+        // Back to the older bucket: still published, no recompute.
+        let _ = svc.graphs(combo, t0 + 30).unwrap();
+        assert_eq!(svc.compute_count(), 2, "retained bucket re-served");
+    }
+
+    #[test]
+    fn a_thousand_buckets_stay_resident_bounded() {
+        // The cache-growth bugfix, pinned explicitly: serving 1000
+        // consecutive buckets leaves O(combos × retain_buckets) graphs
+        // resident, not O(buckets).
+        let cat = Catalog::standard();
+        let combo = Combo::new(
+            Az::parse("us-east-1c").unwrap(),
+            cat.type_id("c3.4xlarge").unwrap(),
+        );
+        let h = generate_with_archetype(
+            combo,
+            cat,
+            &TraceConfig::days(30, 55),
+            Archetype::Calm,
+        );
+        let cfg = ServiceConfig {
+            drafts: DraftsConfig {
+                changepoint: None,
+                autocorr: false,
+                duration_stride: 24,
+                ..DraftsConfig::default()
+            },
+            ..ServiceConfig::default()
+        };
+        let retain = cfg.retain_buckets;
+        let period = cfg.recompute_period;
+        let mut svc = DraftsService::new(cfg);
+        svc.register(h);
+        let t0 = 10 * spotmarket::DAY;
+        for i in 0..1000u64 {
+            let _ = svc.fetch(combo, t0 + i * period);
+            assert!(
+                svc.resident_graphs() <= retain,
+                "bucket {i}: {} resident entries for one combo",
+                svc.resident_graphs()
+            );
+        }
+        assert_eq!(svc.compute_count(), 1000, "every bucket computed once");
+        assert!(svc.resident_graphs() <= retain);
+        assert!(svc.resident_graphs() > 0, "recent buckets stay published");
     }
 
     #[test]
@@ -915,7 +1246,25 @@ mod tests {
     }
 
     #[test]
-    fn registering_clears_cache() {
+    #[should_panic(expected = "shard")]
+    fn rejects_zero_shards() {
+        DraftsService::new(ServiceConfig {
+            shards: 0,
+            ..ServiceConfig::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "retained bucket")]
+    fn rejects_zero_retained_buckets() {
+        DraftsService::new(ServiceConfig {
+            retain_buckets: 0,
+            ..ServiceConfig::default()
+        });
+    }
+
+    #[test]
+    fn registering_clears_published_snapshots() {
         let (mut svc, combo) = service();
         let _ = svc.graphs(combo, 20 * spotmarket::DAY).unwrap();
         assert_eq!(svc.compute_count(), 1);
@@ -927,8 +1276,9 @@ mod tests {
             Archetype::Calm,
         );
         svc.register(h2);
+        assert_eq!(svc.resident_graphs(), 0, "snapshots reset on register");
         let _ = svc.graphs(combo, 20 * spotmarket::DAY).unwrap();
-        assert_eq!(svc.compute_count(), 2, "cache was invalidated");
+        assert_eq!(svc.compute_count(), 2, "snapshot was invalidated");
     }
 
     #[test]

@@ -53,6 +53,13 @@ pub struct ServeOutput {
     pub report: RunReport,
     /// Drain accounting from server shutdown.
     pub drain: DrainReport,
+    /// Slow-path lock acquisitions during the workload (after warm-up).
+    /// The lock-free read path's acceptance gate: must be 0 — every
+    /// request of a warm steady-state run is a pure snapshot read.
+    pub reader_locks_steady: u64,
+    /// Snapshot publications during the workload (after warm-up). 0 in
+    /// steady state: nothing republishes inside one refresh bucket.
+    pub swaps_steady: u64,
 }
 
 /// The market population: AZ/type pairs in the spirit of the Table 1
@@ -136,12 +143,20 @@ pub fn build_service(combos: &[Combo], scale: Scale) -> DraftsService {
     svc
 }
 
-/// Runs the experiment: boot, replay, drain.
+/// Runs the experiment: boot, warm, replay, drain.
 pub fn run(scale: Scale) -> ServeOutput {
     let p = plan(scale);
     let catalog = Catalog::standard();
     let service = Arc::new(build_service(&p.combos, scale));
-    let router = Router::new(service, p.now);
+    // Pre-build the serving bucket's snapshots so the measured workload
+    // is pure steady state: every request resolves against the published
+    // snapshot without locking or computing. This is the production
+    // shape — the paper's service recomputes on its 15-minute schedule,
+    // not on a client's first request.
+    service.warm(p.now);
+    let locks_warm = service.read_lock_count();
+    let swaps_warm = service.snapshot_swap_count();
+    let router = Router::new(service.clone(), p.now);
     let srv = Server::start(router, p.server.clone()).expect("bind loopback");
     let addr = srv.addr();
 
@@ -152,6 +167,8 @@ pub fn run(scale: Scale) -> ServeOutput {
         plan: p,
         report,
         drain,
+        reader_locks_steady: service.read_lock_count() - locks_warm,
+        swaps_steady: service.snapshot_swap_count() - swaps_warm,
     }
 }
 
@@ -173,6 +190,10 @@ pub fn deterministic_csv(out: &ServeOutput) -> String {
             .routes
             .values()
             .fold(0u64, |acc, t| acc.wrapping_add(t.checksum))
+    ));
+    csv.push_str(&format!(
+        "_steady,reader_locks={};snapshot_swaps={},,,\n",
+        out.reader_locks_steady, out.swaps_steady
     ));
     csv.push_str(&format!(
         "_config,combos={};requests={};clients={};p={};now={};shed={};panics={},,,\n",
@@ -241,6 +262,10 @@ mod tests {
         assert_eq!(a.drain.shed, 0, "smoke plan must not shed");
         assert_eq!(a.drain.handler_panics, 0);
         assert_eq!(a.drain.admitted, a.drain.served, "drain dropped work");
+        // The lock-free read-path acceptance gate: a warm steady-state
+        // run never enters the slow path and never republishes.
+        assert_eq!(a.reader_locks_steady, 0, "steady-state reads took a lock");
+        assert_eq!(a.swaps_steady, 0, "steady-state run republished");
 
         let b = run(Scale::Quick);
         assert_eq!(

@@ -183,9 +183,16 @@ impl Router {
         let graphs: Vec<_> = match req.query_param("p") {
             None => response.graphs.graphs.iter().collect(),
             Some(v) => {
+                // Reject malformed probabilities outright: "NaN" and
+                // "-0.95" parse as f64, and the basis-point key saturates
+                // them onto real levels, so without this guard a
+                // malformed `?p=` could silently match a published graph.
                 let Ok(p) = v.parse::<f64>() else {
                     return Response::error(400, "p must be a number");
                 };
+                if !drafts_core::service::valid_probability(p) {
+                    return Response::error(400, "p must be in (0, 1]");
+                }
                 match response.graphs.at_probability(p) {
                     Some(g) => vec![g],
                     None => {
@@ -210,7 +217,7 @@ impl Router {
         let p = match req.query_param("p") {
             None => self.default_p,
             Some(v) => match v.parse::<f64>() {
-                Ok(p) if p > 0.0 && p <= 1.0 => p,
+                Ok(p) if drafts_core::service::valid_probability(p) => p,
                 _ => return Response::error(400, "p must be in (0, 1]"),
             },
         };
@@ -328,6 +335,29 @@ mod tests {
         assert_eq!(
             get(&r, "/v1/graphs/us-east-1/us-east-1c/c3.4xlarge?p=0.5").0,
             404
+        );
+    }
+
+    #[test]
+    fn malformed_probabilities_get_400_not_a_graph() {
+        // "NaN" and "-0.95" parse as f64 and saturate to basis-point key
+        // 0 (or u32::MAX); before the valid_probability guard they could
+        // alias a published level. Both routes must reject them outright.
+        let r = router();
+        for bad in ["NaN", "nan", "inf", "-inf", "-0.95", "0", "1.5", "1e300"] {
+            let target = format!("/v1/graphs/us-east-1/us-east-1c/c3.4xlarge?p={bad}");
+            assert_eq!(get(&r, &target).0, 400, "graphs must 400 on p={bad}");
+            let target = format!("/v1/bid?duration=3600&p={bad}");
+            assert_eq!(get(&r, &target).0, 400, "bid must 400 on p={bad}");
+        }
+        // Valid but unpublished stays a 404; valid and published a 200.
+        assert_eq!(
+            get(&r, "/v1/graphs/us-east-1/us-east-1c/c3.4xlarge?p=0.5").0,
+            404
+        );
+        assert_eq!(
+            get(&r, "/v1/graphs/us-east-1/us-east-1c/c3.4xlarge?p=0.95").0,
+            200
         );
     }
 
