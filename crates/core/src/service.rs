@@ -64,9 +64,9 @@
 use crate::graph::BidDurationGraph;
 use crate::predictor::{DraftsConfig, DraftsPredictor};
 use crate::snapshot::Swap;
-use obs::{Counter, Registry};
+use obs::{Counter, EventLog, Level, Registry};
 use parallel::{lock_clean, Pool};
-use spotmarket::faults::{CleanFeed, FeedSource};
+use spotmarket::faults::{combo_label, CleanFeed, FeedSource};
 use spotmarket::{Combo, Price, PriceHistory};
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
@@ -368,6 +368,23 @@ pub struct DraftsService {
     /// Last computed health per combo, as an index into
     /// `health_transitions`.
     health_state: Mutex<HashMap<u64, usize>>,
+    /// Structured event sink, attached by the serving process (see
+    /// [`Self::attach_events`]); `None` drops emissions.
+    events: Mutex<Option<EventLog>>,
+}
+
+/// An event decided inside a (possibly parallel) shard build, buffered so
+/// the leader emits the batch in deterministic combo order afterwards.
+struct PendingEvent {
+    now: u64,
+    level: Level,
+    kind: &'static str,
+    fields: Vec<(&'static str, String)>,
+}
+
+/// Lowercase label of a health state, by `health_index`.
+fn health_label(idx: usize) -> &'static str {
+    ["fresh", "stale", "unavailable"][idx]
 }
 
 /// Index of a health state in [`DraftsService::health_transitions`] and
@@ -421,6 +438,30 @@ impl DraftsService {
             read_locks: Counter::new(),
             health_transitions: [Counter::new(), Counter::new(), Counter::new()],
             health_state: Mutex::new(HashMap::new()),
+            events: Mutex::new(None),
+        }
+    }
+
+    /// Attaches the structured event log the service emits health
+    /// transitions, feed fault onsets/recoveries, and snapshot swaps
+    /// into. Events are stamped with **virtual** time (the bucket clock),
+    /// so a sequential drive produces a deterministic event sequence.
+    /// Attach after [`Self::warm`] to keep boot-time churn out of the
+    /// ring identically across boots.
+    pub fn attach_events(&self, log: &EventLog) {
+        *lock_clean(&self.events) = Some(log.clone());
+    }
+
+    /// Emits into the attached event log, if any.
+    fn emit(
+        &self,
+        now: u64,
+        level: Level,
+        kind: &'static str,
+        fields: Vec<(&'static str, String)>,
+    ) {
+        if let Some(log) = lock_clean(&self.events).as_ref() {
+            log.emit(now, level, kind, fields);
         }
     }
 
@@ -698,21 +739,28 @@ impl DraftsService {
     /// Recomputes every combo of `shard` for `bucket`, fanning out on the
     /// pool when the shard holds more than one combo. Results are keyed
     /// by combo and order-independent, so the parallel build is
-    /// deterministic.
+    /// deterministic — and events decided inside the parallel region are
+    /// buffered per combo and emitted here in stable combo order, so the
+    /// event stream is deterministic too.
     fn build_bucket(&self, shard: usize, bucket: u64) -> BucketEntries {
         let combos = &self.shard_combos[shard];
-        let responses = self.pool.par_map(combos, |combo| {
+        let results = self.pool.par_map(combos, |combo| {
             let feed = self
                 .feeds
                 .get(&combo.key())
                 .expect("shard combo lists track registered feeds");
-            self.compute_bucket(feed.as_ref(), *combo, bucket)
+            let mut pending = Vec::new();
+            let response = self.compute_bucket(feed.as_ref(), *combo, bucket, &mut pending);
+            (response, pending)
         });
-        combos
-            .iter()
-            .map(|c| c.key())
-            .zip(responses)
-            .collect()
+        let mut built = BucketEntries::with_capacity(combos.len());
+        for (combo, (response, pending)) in combos.iter().zip(results) {
+            for e in pending {
+                self.emit(e.now, e.level, e.kind, e.fields);
+            }
+            built.insert(combo.key(), response);
+        }
+        built
     }
 
     /// Merges `built` into `shard`'s published snapshot with one atomic
@@ -747,15 +795,28 @@ impl DraftsService {
         });
         if published {
             self.snapshot_swaps.inc();
+            self.emit(
+                bucket * self.cfg.recompute_period,
+                Level::Info,
+                "snapshot_swap",
+                vec![
+                    ("shard", shard.to_string()),
+                    ("bucket", bucket.to_string()),
+                ],
+            );
         }
     }
 
     /// Polls the feed (with retries) and computes the bucket's response.
+    /// Events (fault onset/recovery, health transitions) are buffered
+    /// into `pending` — this may run inside a parallel shard build, and
+    /// the leader emits the buffers in combo order (see `build_bucket`).
     fn compute_bucket(
         &self,
         feed: &dyn FeedSource,
         combo: Combo,
         bucket: u64,
+        pending: &mut Vec<PendingEvent>,
     ) -> Option<GraphsResponse> {
         let _span = obs::span("svc_compute");
         let bucket_time = bucket * self.cfg.recompute_period;
@@ -768,9 +829,35 @@ impl DraftsService {
         let mut attempt: u32 = 0;
         let snapshot = loop {
             match feed.poll(poll_at, attempt) {
-                Ok(h) => break Some(h),
+                Ok(h) => {
+                    if attempt > 0 {
+                        // Fault recovery: the feed answered after
+                        // transient errors within this bucket.
+                        pending.push(PendingEvent {
+                            now: bucket_time,
+                            level: Level::Info,
+                            kind: "feed_recovered",
+                            fields: vec![
+                                ("combo", combo_label(combo)),
+                                ("retries", attempt.to_string()),
+                            ],
+                        });
+                    }
+                    break Some(h);
+                }
                 Err(_) => {
                     if attempt >= self.cfg.max_retries {
+                        // Fault onset: the retry budget is exhausted and
+                        // the bucket falls back to last-good data.
+                        pending.push(PendingEvent {
+                            now: bucket_time,
+                            level: Level::Warn,
+                            kind: "feed_fault",
+                            fields: vec![
+                                ("combo", combo_label(combo)),
+                                ("attempts", (attempt + 1).to_string()),
+                            ],
+                        });
                         break None;
                     }
                     poll_at += self.cfg.retry_backoff << attempt;
@@ -799,7 +886,7 @@ impl DraftsService {
         match computed {
             Some((graphs, covered_until)) => {
                 let health = self.health_for(bucket_time, covered_until);
-                self.note_health(combo, health);
+                self.note_health(combo, health, bucket_time, pending);
                 if health.is_guaranteed() {
                     lock_clean(&self.last_good).insert(
                         combo.key(),
@@ -821,7 +908,7 @@ impl DraftsService {
                 // budget, demoted to Unavailable beyond it.
                 let lg = lock_clean(&self.last_good).get(&combo.key()).cloned()?;
                 let health = self.health_for(bucket_time, lg.covered_until);
-                self.note_health(combo, health);
+                self.note_health(combo, health, bucket_time, pending);
                 Some(GraphsResponse {
                     health,
                     graphs: lg.graphs,
@@ -832,12 +919,35 @@ impl DraftsService {
     }
 
     /// Counts a health-state transition for `combo` (the first computed
-    /// health of a combo counts as a transition into its initial state).
-    fn note_health(&self, combo: Combo, health: FeedHealth) {
+    /// health of a combo counts as a transition into its initial state)
+    /// and buffers the matching structured event: Unavailable at error
+    /// level, Stale at warn, a return to Fresh at info.
+    fn note_health(
+        &self,
+        combo: Combo,
+        health: FeedHealth,
+        bucket_time: u64,
+        pending: &mut Vec<PendingEvent>,
+    ) {
         let idx = health_index(health);
-        let mut state = lock_clean(&self.health_state);
-        if state.insert(combo.key(), idx) != Some(idx) {
+        let previous = lock_clean(&self.health_state).insert(combo.key(), idx);
+        if previous != Some(idx) {
             self.health_transitions[idx].inc();
+            let level = match health {
+                FeedHealth::Fresh => Level::Info,
+                FeedHealth::Stale { .. } => Level::Warn,
+                FeedHealth::Unavailable => Level::Error,
+            };
+            pending.push(PendingEvent {
+                now: bucket_time,
+                level,
+                kind: "health_transition",
+                fields: vec![
+                    ("combo", combo_label(combo)),
+                    ("from", previous.map_or("none", health_label).to_string()),
+                    ("to", health_label(idx).to_string()),
+                ],
+            });
         }
     }
 
@@ -1445,6 +1555,99 @@ mod tests {
         // After the outage: fresh again.
         let after = svc.fetch(combo, day20 + 4 * spotmarket::HOUR).unwrap();
         assert_eq!(after.health, FeedHealth::Fresh);
+    }
+
+    #[test]
+    fn outage_emits_one_transition_event_per_state_change_and_the_inverse() {
+        use obs::Level;
+        let (_, combo) = service();
+        let truth = Arc::new(history_for(combo, 55));
+        let day20 = 20 * spotmarket::DAY;
+        struct OutageFeed {
+            inner: CleanFeed,
+            from: u64,
+            until: u64,
+        }
+        impl FeedSource for OutageFeed {
+            fn combo(&self) -> Combo {
+                self.inner.combo()
+            }
+            fn poll(
+                &self,
+                now: u64,
+                attempt: u32,
+            ) -> Result<Arc<PriceHistory>, FeedError> {
+                if (self.from..self.until).contains(&now) {
+                    Err(FeedError::Outage { until: self.until })
+                } else {
+                    self.inner.poll(now, attempt)
+                }
+            }
+        }
+        let mut svc = DraftsService::new(ServiceConfig {
+            staleness_budget: spotmarket::HOUR,
+            ..ServiceConfig::default()
+        });
+        svc.register_feed(Arc::new(OutageFeed {
+            inner: CleanFeed::new(truth),
+            from: day20,
+            until: day20 + 3 * spotmarket::HOUR,
+        }));
+        let log = obs::EventLog::new(64);
+        svc.attach_events(&log);
+
+        // Walk the outage bucket-by-bucket: Fresh (priming) → Stale →
+        // Unavailable → Fresh again after the feed recovers.
+        let period = 15 * spotmarket::MINUTE;
+        let mut now = day20 - period;
+        while now <= day20 + 4 * spotmarket::HOUR {
+            let _ = svc.fetch(combo, now);
+            now += period;
+        }
+
+        let transitions: Vec<_> = log
+            .snapshot()
+            .into_iter()
+            .filter(|e| e.kind == "health_transition")
+            .collect();
+        let arc: Vec<(String, String, Level)> = transitions
+            .iter()
+            .map(|e| {
+                let field = |k: &str| {
+                    e.fields
+                        .iter()
+                        .find(|(n, _)| *n == k)
+                        .map(|(_, v)| v.clone())
+                        .unwrap()
+                };
+                (field("from"), field("to"), e.level)
+            })
+            .collect();
+        // Exactly one event per state change — never one per bucket.
+        assert_eq!(
+            arc,
+            vec![
+                ("none".into(), "fresh".into(), Level::Info),
+                ("fresh".into(), "stale".into(), Level::Warn),
+                ("stale".into(), "unavailable".into(), Level::Error),
+                ("unavailable".into(), "fresh".into(), Level::Info),
+            ],
+            "full transition arc: {transitions:?}"
+        );
+        // Every transition names the combo and carries virtual time.
+        let label = spotmarket::faults::combo_label(combo);
+        for e in &transitions {
+            assert!(e.fields.contains(&("combo", label.clone())));
+            assert!(e.now >= day20 - period && e.now % period == 0);
+        }
+        // The outage also surfaced as fault-onset events (retry budget
+        // exhausted once per affected bucket).
+        assert!(log.snapshot().iter().any(|e| e.kind == "feed_fault"));
+        assert_eq!(
+            log.emitted(Level::Error),
+            1,
+            "one error-level event: the demotion to unavailable"
+        );
     }
 
     #[test]

@@ -4,13 +4,17 @@
 //! repro <experiment> [--quick]
 //! experiment: table1 | figure1 | figure2 | figure3 | figure4
 //!           | table2 | table3 | table4 | table5 | tightness
-//!           | reflexivity | faults | serve | profile | all
+//!           | reflexivity | faults | serve | profile | bench | all
 //!
 //! `serve` boots the drafts-serve HTTP layer on an ephemeral loopback
 //! port and replays the seeded loadgen workload against it. `profile`
 //! is the same boot with span tracing on, reporting where each request
-//! spends its time per pipeline stage. Neither is part of `all`: their
-//! wall-clock halves depend on the machine.
+//! spends its time per pipeline stage. `bench` runs the timing-harness
+//! benches over that boot plus the QBETS kernels and writes the
+//! `BENCH_serve.json` / `BENCH_qbets.json` trajectory files into the
+//! current directory (override with `DRAFTS_BENCH_DIR`). None of the
+//! three is part of `all`: their wall-clock halves depend on the
+//! machine.
 //! ```
 //!
 //! Artifacts (rendered tables + CSV series) land in `results/` (override
@@ -18,8 +22,8 @@
 
 use experiments::common::{self, Scale};
 use experiments::{
-    faults, figure1, figure4, launch, profile, reflexivity, serve, table1, table2, table3,
-    table45,
+    benchrun, faults, figure1, figure4, launch, profile, reflexivity, serve, table1, table2,
+    table3, table45,
 };
 use obs::Stopwatch;
 
@@ -50,6 +54,7 @@ fn main() {
         "faults" => run_faults(scale),
         "serve" => run_serve(scale),
         "profile" => run_profile(scale),
+        "bench" => run_bench(scale),
         "all" => {
             run_table1_figure1_table4(scale);
             run_table45(scale, 5);
@@ -65,7 +70,7 @@ fn main() {
             eprintln!(
                 "unknown experiment '{other}'; expected table1|figure1|figure2|figure3|\
                  figure4|table2|table3|table4|table5|tightness|reflexivity|faults|serve|\
-                 profile|all"
+                 profile|bench|all"
             );
             std::process::exit(2);
         }
@@ -190,6 +195,20 @@ fn run_serve(scale: Scale) {
     let lat = common::write_artifact("serve_latency.csv", &serve::latency_csv(&out));
     eprintln!("wrote {}", common::display(&det));
     eprintln!("wrote {}", common::display(&lat));
+}
+
+fn run_bench(scale: Scale) {
+    let out = benchrun::run(scale);
+    print!("{}", benchrun::summarize(&out));
+    let dir = benchrun::bench_dir();
+    for (name, json) in [
+        ("BENCH_serve.json", &out.serve_json),
+        ("BENCH_qbets.json", &out.qbets_json),
+    ] {
+        let path = dir.join(name);
+        std::fs::write(&path, json).expect("write bench trajectory");
+        eprintln!("wrote {}", common::display(&path));
+    }
 }
 
 fn run_profile(scale: Scale) {

@@ -22,7 +22,9 @@
 //! | `faults`  | feed-fault degradation sweep (robustness) | [`faults`] |
 //! | `serve`   | serving-layer throughput/latency smoke    | [`serve`] |
 //! | `profile` | per-stage serving-pipeline profile        | [`profile`] |
+//! | `bench`   | `BENCH_*.json` perf-trajectory points     | [`benchrun`] |
 
+pub mod benchrun;
 pub mod common;
 pub mod faults;
 pub mod figure1;

@@ -22,11 +22,7 @@ use crate::common::Scale;
 use crate::serve;
 use drafts_core::service::SERVICE_STAGES;
 use loadgen::RunReport;
-use server::{Route, Router, Server};
-use simrng::StreamFactory;
-use spotmarket::Catalog;
-use std::sync::Arc;
-use std::time::Duration;
+use server::Route;
 
 /// Span journal capacity for the profiled boot (events, ring buffer).
 const JOURNAL_CAPACITY: usize = 4096;
@@ -73,7 +69,7 @@ impl ProfileOutput {
 
 /// Every stage the profiled server records, in canonical order: the
 /// per-route roots first, then the service/predictor stages beneath them.
-fn stages() -> Vec<&'static str> {
+pub(crate) fn stages() -> Vec<&'static str> {
     Route::ALL
         .iter()
         .map(|r| r.stage())
@@ -83,27 +79,18 @@ fn stages() -> Vec<&'static str> {
 
 /// Runs the experiment: boot with the journal on, replay, read stages.
 pub fn run(scale: Scale) -> ProfileOutput {
+    // The shared `serve::boot` warms exactly as `repro serve` does: the
+    // profile measures steady-state serving — the paper's service
+    // recomputes graphs on its 15-minute schedule, not inside a client's
+    // request. Warming runs outside the journalled window, so the cold
+    // QBETS builds (and the single-flight waits they impose on concurrent
+    // workers) do not masquerade as per-request serving time.
     let mut p = serve::plan(scale);
     p.server.trace_journal = JOURNAL_CAPACITY;
-    let catalog = Catalog::standard();
-    let service = Arc::new(serve::build_service(&p.combos, scale));
-    // Warm exactly as `repro serve` does: the profile measures steady-state
-    // serving — the paper's service recomputes graphs on its 15-minute
-    // schedule, not inside a client's request. Warming runs outside the
-    // journalled window, so the cold QBETS builds (and the single-flight
-    // waits they impose on concurrent workers) do not masquerade as
-    // per-request serving time.
-    service.warm(p.now);
-    let router = Router::new(service, p.now);
-    let srv = Server::start(router, p.server.clone()).expect("bind loopback");
-    let metrics = srv.metrics();
+    let b = serve::boot(p, scale);
+    let metrics = b.server.metrics();
 
-    let requests = loadgen::build_plan(
-        &p.workload,
-        &StreamFactory::new(serve::SERVE_SEED),
-        catalog,
-    );
-    let report = loadgen::run(srv.addr(), &requests, p.workload.clients, Duration::from_secs(5));
+    let report = b.replay();
 
     let tracer = metrics.tracer().clone();
     let journal_events = tracer.journal().map_or(0, |j| j.len());
@@ -125,7 +112,7 @@ pub fn run(scale: Scale) -> ProfileOutput {
         .map(|r| r.total_ns)
         .sum();
     let self_sum_ns = rows.iter().map(|r| r.self_ns).sum();
-    srv.shutdown();
+    b.server.shutdown();
 
     ProfileOutput {
         rows,

@@ -10,7 +10,10 @@
 //!   A pure function of the seed: CI runs the experiment twice and
 //!   byte-compares this file.
 //! * `serve_latency.csv` — throughput and log-bucketed latency quantiles
-//!   (p50/p95/p99/max). Wall clock, machine-dependent, *not* diffed.
+//!   (p50/p95/p99/max), one aggregate row plus one row per route from
+//!   the harness's per-route histograms. The timing columns are wall
+//!   clock and machine-dependent; only the `route,requests` columns are
+//!   deterministic (CI cuts and compares those, as with `profile.csv`).
 //!
 //! The split exists because response *content* under virtual time is
 //! reproducible while response *timing* never is; mixing them in one
@@ -95,7 +98,7 @@ pub fn plan(scale: Scale) -> ServePlan {
         clients: 4,
         combos: combos.clone(),
         p: 0.95,
-        mix: [0.35, 0.5, 0.15],
+        mix: [0.35, 0.5, 0.1, 0.05],
     };
     // The accept queue comfortably exceeds the client count so the smoke
     // run never sheds: shed 503s are timing-dependent and would poison
@@ -143,32 +146,91 @@ pub fn build_service(combos: &[Combo], scale: Scale) -> DraftsService {
     svc
 }
 
-/// Runs the experiment: boot, warm, replay, drain.
-pub fn run(scale: Scale) -> ServeOutput {
-    let p = plan(scale);
-    let catalog = Catalog::standard();
-    let service = Arc::new(build_service(&p.combos, scale));
-    // Pre-build the serving bucket's snapshots so the measured workload
-    // is pure steady state: every request resolves against the published
-    // snapshot without locking or computing. This is the production
-    // shape — the paper's service recomputes on its 15-minute schedule,
-    // not on a client's first request.
-    service.warm(p.now);
+/// A booted serving stack: the seeded multi-combo service built, warmed,
+/// and fronted by a live loopback server. This is the boot sequence
+/// `repro serve`, `repro profile` and `repro bench` all share — one copy
+/// of the warm/bind logic instead of one per experiment.
+pub struct Booted {
+    /// The plan the boot realised (tuning knobs included).
+    pub plan: ServePlan,
+    /// The warmed service behind the server.
+    pub service: Arc<DraftsService>,
+    /// The live server on an ephemeral loopback port.
+    pub server: Server,
+    /// Slow-path lock count right after warming (steady-state baseline).
+    pub locks_warm: u64,
+    /// Snapshot-swap count right after warming (steady-state baseline).
+    pub swaps_warm: u64,
+}
+
+/// Boots `plan`: build the service, pre-warm the serving bucket's
+/// snapshots, bind a loopback server. Warming runs before the server
+/// exists so the measured workload is pure steady state — every request
+/// resolves against the published snapshot without locking or computing.
+/// This is the production shape: the paper's service recomputes on its
+/// 15-minute schedule, not on a client's first request.
+pub fn boot(plan: ServePlan, scale: Scale) -> Booted {
+    let service = Arc::new(build_service(&plan.combos, scale));
+    service.warm(plan.now);
     let locks_warm = service.read_lock_count();
     let swaps_warm = service.snapshot_swap_count();
-    let router = Router::new(service.clone(), p.now);
-    let srv = Server::start(router, p.server.clone()).expect("bind loopback");
-    let addr = srv.addr();
+    let router = Router::new(service.clone(), plan.now);
+    let server = Server::start(router, plan.server.clone()).expect("bind loopback");
+    Booted {
+        plan,
+        service,
+        server,
+        locks_warm,
+        swaps_warm,
+    }
+}
 
-    let requests = loadgen::build_plan(&p.workload, &StreamFactory::new(SERVE_SEED), catalog);
-    let report = loadgen::run(addr, &requests, p.workload.clients, Duration::from_secs(5));
-    let drain = srv.shutdown();
+impl Booted {
+    /// The seeded loadgen request plan for this boot's workload — a pure
+    /// function of `(SERVE_SEED, plan.workload)`.
+    pub fn request_plan(&self) -> Vec<loadgen::Planned> {
+        loadgen::build_plan(
+            &self.plan.workload,
+            &StreamFactory::new(SERVE_SEED),
+            Catalog::standard(),
+        )
+    }
+
+    /// Replays the seeded request plan against the live server.
+    pub fn replay(&self) -> RunReport {
+        let requests = self.request_plan();
+        loadgen::run(
+            self.server.addr(),
+            &requests,
+            self.plan.workload.clients,
+            Duration::from_secs(5),
+        )
+    }
+
+    /// Slow-path lock acquisitions since warm-up finished.
+    pub fn locks_steady(&self) -> u64 {
+        self.service.read_lock_count() - self.locks_warm
+    }
+
+    /// Snapshot publications since warm-up finished.
+    pub fn swaps_steady(&self) -> u64 {
+        self.service.snapshot_swap_count() - self.swaps_warm
+    }
+}
+
+/// Runs the experiment: boot, warm, replay, drain.
+pub fn run(scale: Scale) -> ServeOutput {
+    let b = boot(plan(scale), scale);
+    let report = b.replay();
+    let reader_locks_steady = b.locks_steady();
+    let swaps_steady = b.swaps_steady();
+    let drain = b.server.shutdown();
     ServeOutput {
-        plan: p,
+        plan: b.plan,
         report,
         drain,
-        reader_locks_steady: service.read_lock_count() - locks_warm,
-        swaps_steady: service.snapshot_swap_count() - swaps_warm,
+        reader_locks_steady,
+        swaps_steady,
     }
 }
 
@@ -208,21 +270,32 @@ pub fn deterministic_csv(out: &ServeOutput) -> String {
     csv
 }
 
-/// Renders the wall-clock artifact (`serve_latency.csv`).
+/// Renders the wall-clock artifact (`serve_latency.csv`): one `_all`
+/// aggregate row plus one row per route, from the loadgen harness's
+/// per-route histograms. Columns 1–2 (`route,requests`) are deterministic
+/// (CI cuts them out and byte-compares, like `profile.csv`); the timing
+/// columns are wall clock and are cut before the diff.
 pub fn latency_csv(out: &ServeOutput) -> String {
-    let h = &out.report.latency;
-    let q = |p: f64| h.quantile_ns(p).unwrap_or(0) as f64 / 1_000.0;
-    format!(
-        "requests,elapsed_secs,throughput_rps,p50_us,p95_us,p99_us,max_us\n\
-         {},{:.3},{:.1},{:.1},{:.1},{:.1},{:.1}\n",
-        out.report.total(),
-        out.report.elapsed.as_secs_f64(),
-        out.report.throughput(),
-        q(0.50),
-        q(0.95),
-        q(0.99),
-        h.max_ns() as f64 / 1_000.0,
-    )
+    let elapsed = out.report.elapsed.as_secs_f64();
+    let row = |route: &str, requests: u64, h: &obs::LogHistogram| {
+        let q = |p: f64| h.quantile_ns(p).unwrap_or(0) as f64 / 1_000.0;
+        format!(
+            "{route},{requests},{elapsed:.3},{:.1},{:.1},{:.1},{:.1},{:.1}\n",
+            requests as f64 / elapsed.max(1e-9),
+            q(0.50),
+            q(0.95),
+            q(0.99),
+            h.max_ns() as f64 / 1_000.0,
+        )
+    };
+    let mut csv =
+        String::from("route,requests,elapsed_secs,throughput_rps,p50_us,p95_us,p99_us,max_us\n");
+    csv.push_str(&row("_all", out.report.total(), &out.report.latency));
+    for (route, h) in &out.report.route_latency {
+        let requests = out.report.routes.get(route).map_or(0, |t| t.requests);
+        csv.push_str(&row(route, requests, h));
+    }
+    csv
 }
 
 /// One-paragraph human summary for stdout.
@@ -273,10 +346,20 @@ mod tests {
             deterministic_csv(&b),
             "serve.csv must be byte-deterministic run to run"
         );
-        // The latency artifact parses but is not compared — wall clock.
+        // The latency artifact parses but its timing half is not
+        // compared — wall clock. One aggregate row plus one per route.
         let lat = latency_csv(&a);
-        assert!(lat.starts_with("requests,elapsed_secs"));
-        assert_eq!(lat.lines().count(), 2);
+        assert!(lat.starts_with("route,requests,elapsed_secs"));
+        assert_eq!(lat.lines().count(), 6, "header + _all + 4 routes");
+        for route in ["_all", "graphs", "bid", "health", "metrics"] {
+            assert!(
+                lat.lines().any(|l| l.starts_with(&format!("{route},"))),
+                "missing {route} row in {lat}"
+            );
+        }
+        // The per-route histograms decompose the aggregate exactly.
+        let per_route: u64 = a.report.route_latency.values().map(|h| h.count()).sum();
+        assert_eq!(per_route, a.report.latency.count());
         assert!(summarize(&a).contains("admitted"));
     }
 }

@@ -6,8 +6,8 @@
 //!   an open-loop Poisson arrival schedule whose requests replay the
 //!   paper's Table 1 request population (per-combo durations from
 //!   [`backtest::request::generate`], the §4.1 "uniform between 0 and 12
-//!   hours" draw) as `/v1/bid` lookups, mixed with `/v1/graphs` and
-//!   `/v1/health` probes.
+//!   hours" draw) as `/v1/bid` lookups, mixed with `/v1/graphs`,
+//!   `/v1/health` and `/v1/metrics` probes.
 //! * The **run** ([`run`]) replays the plan against a live server with
 //!   keep-alive client threads. Response *contents* are deterministic
 //!   (virtual time; the report captures counts, body bytes and an
@@ -39,16 +39,31 @@ pub enum Kind {
     Bid,
     /// `/v1/health`.
     Health,
+    /// `/v1/metrics` — the exposition endpoint, probed like a scraper.
+    Metrics,
 }
 
 impl Kind {
+    /// Every kind, in the report's route order.
+    pub const ALL: [Kind; 4] = [Kind::Graphs, Kind::Bid, Kind::Health, Kind::Metrics];
+
     /// Stable label used in the run report.
     pub fn label(self) -> &'static str {
         match self {
             Kind::Graphs => "graphs",
             Kind::Bid => "bid",
             Kind::Health => "health",
+            Kind::Metrics => "metrics",
         }
+    }
+
+    /// Whether the response body is a pure function of `(seed, request)`
+    /// under virtual time. The metrics exposition is a live view of
+    /// mutable counters — its bytes depend on how requests interleave
+    /// across client threads — so it is excluded from the deterministic
+    /// body-bytes/checksum tallies.
+    pub fn deterministic_body(self) -> bool {
+        !matches!(self, Kind::Metrics)
     }
 }
 
@@ -77,8 +92,8 @@ pub struct WorkloadConfig {
     pub combos: Vec<Combo>,
     /// Probability level baked into bid/graphs queries.
     pub p: f64,
-    /// Route mix weights `[graphs, bid, health]`.
-    pub mix: [f64; 3],
+    /// Route mix weights `[graphs, bid, health, metrics]`.
+    pub mix: [f64; 4],
 }
 
 impl WorkloadConfig {
@@ -160,7 +175,8 @@ pub fn build_plan(
                         format!("/v1/bid?duration={d}&p={}", cfg.p),
                     )
                 }
-                _ => (Kind::Health, "/v1/health".to_string()),
+                2 => (Kind::Health, "/v1/health".to_string()),
+                _ => (Kind::Metrics, "/v1/metrics".to_string()),
             };
             Planned {
                 at: Duration::from_secs_f64(t),
@@ -214,8 +230,12 @@ pub struct RunReport {
     pub non_ok: u64,
     /// Wall-clock run duration.
     pub elapsed: Duration,
-    /// Latency distribution (wall clock — NOT deterministic).
+    /// Aggregate latency distribution (wall clock — NOT deterministic).
     pub latency: LogHistogram,
+    /// Per-route latency distributions, keyed by [`Kind::label`] (wall
+    /// clock — NOT deterministic). Merging every entry reproduces
+    /// [`RunReport::latency`].
+    pub route_latency: BTreeMap<&'static str, LogHistogram>,
 }
 
 impl RunReport {
@@ -378,28 +398,37 @@ pub fn run(addr: SocketAddr, plan: &[Planned], clients: usize, timeout: Duration
 
     let elapsed = started.elapsed();
     let mut routes: BTreeMap<&'static str, RouteTally> = BTreeMap::new();
-    for kind in [Kind::Graphs, Kind::Bid, Kind::Health] {
+    let mut route_latency: BTreeMap<&'static str, LogHistogram> = BTreeMap::new();
+    for kind in Kind::ALL {
         routes.insert(kind.label(), RouteTally::default());
+        route_latency.insert(kind.label(), LogHistogram::new());
     }
     let mut latency = LogHistogram::new();
     let mut non_ok = 0u64;
     for obs in observations.into_inner().unwrap_or_else(|e| e.into_inner()) {
         let tally = routes.entry(obs.kind.label()).or_default();
         tally.requests += 1;
-        tally.body_bytes += obs.body_len;
-        tally.checksum = tally.checksum.wrapping_add(obs.digest);
+        if obs.kind.deterministic_body() {
+            tally.body_bytes += obs.body_len;
+            tally.checksum = tally.checksum.wrapping_add(obs.digest);
+        }
         if obs.status == 200 {
             tally.ok += 1;
         } else {
             non_ok += 1;
         }
         latency.record(obs.latency);
+        route_latency
+            .entry(obs.kind.label())
+            .or_default()
+            .record(obs.latency);
     }
     RunReport {
         routes,
         non_ok,
         elapsed,
         latency,
+        route_latency,
     }
 }
 
@@ -425,7 +454,7 @@ mod tests {
                 ),
             ],
             p: 0.95,
-            mix: [0.4, 0.5, 0.1],
+            mix: [0.4, 0.45, 0.1, 0.05],
         }
     }
 
@@ -454,7 +483,7 @@ mod tests {
     fn plan_covers_every_route_kind() {
         let catalog = Catalog::standard();
         let plan = build_plan(&config(), &StreamFactory::new(7), catalog);
-        for kind in [Kind::Graphs, Kind::Bid, Kind::Health] {
+        for kind in Kind::ALL {
             assert!(plan.iter().any(|p| p.kind == kind), "{kind:?} missing");
         }
         assert!(plan

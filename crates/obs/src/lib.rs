@@ -18,19 +18,38 @@
 //!   closed spans (oldest-first eviction, no reallocation) for
 //!   `/v1/_debug/trace`-style dumps and profile reports.
 //!
+//! A second layer turns the cumulative substrate into *current* signals:
+//!
+//! * **Windows** ([`WindowSet`]) — virtual-time-driven rolling deltas
+//!   over registered histograms/counters (sliding-window quantiles and
+//!   rates without touching the hot recording path).
+//! * **SLOs** ([`SloMonitor`]) — declarative objectives judged by
+//!   dual-window burn rates into an Ok/Warn/Breach state machine, in
+//!   pure basis-point integer arithmetic.
+//! * **Events** ([`EventLog`]) — a bounded, severity-leveled, structured
+//!   event ring stamped with **virtual** time; the sanctioned channel
+//!   for "something notable happened" (CI lints away ad-hoc
+//!   `eprintln!` in server/service code).
+//!
 //! [`LogHistogram`] lives here (promoted from `bench::timing`, which
 //! re-exports it) so every crate shares one histogram implementation, and
 //! [`Stopwatch`] is the workspace's sole gateway to the wall clock
 //! outside `obs`/`bench` — CI greps for stray `Instant::now` calls.
 
 pub mod clock;
+pub mod events;
 pub mod hist;
 pub mod journal;
 pub mod registry;
+pub mod slo;
 pub mod span;
+pub mod window;
 
 pub use clock::Stopwatch;
+pub use events::{EventLog, Level, LogEvent};
 pub use hist::{LogHistogram, SharedHistogram};
 pub use journal::{Event, Journal};
 pub use registry::{Counter, Gauge, Histogram, Registry};
-pub use span::{ambient, span, InstallGuard, Span, StageStats, Tracer};
+pub use slo::{InstantCounts, Objective, SloMonitor, SloState, SloStatus, Source};
+pub use span::{ambient, span, Exemplar, InstallGuard, Span, StageStats, Tracer};
+pub use window::WindowSet;

@@ -23,11 +23,57 @@ use crate::journal::Journal;
 use crate::registry::{Histogram, Registry};
 use std::cell::RefCell;
 use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The slowest span yet closed for one stage — a concrete trace to chase
+/// when the histogram tail moves. Wall clock by nature; surfaces only
+/// through wall-clock outputs (`/v1/_debug/trace`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The stage name.
+    pub stage: &'static str,
+    /// Total duration, children included (ns).
+    pub total_ns: u64,
+    /// Self time, net of children (ns).
+    pub self_ns: u64,
+    /// Wall-clock start, nanoseconds since the tracer's epoch.
+    pub start_ns: u64,
+    /// Nesting depth at open time (0 = root).
+    pub depth: u16,
+}
+
+/// Holder for a stage's exemplar. The fast span-close path reads only
+/// `max_ns` (one relaxed load); the lock is taken just when a new
+/// slowest span actually appears.
+#[derive(Debug, Clone, Default)]
+struct ExemplarCell {
+    /// Hint: the stored exemplar's `total_ns` (updated under the lock).
+    max_ns: Arc<AtomicU64>,
+    slot: Arc<Mutex<Option<Exemplar>>>,
+}
+
+impl ExemplarCell {
+    /// True when `total_ns` would beat the stored exemplar — the
+    /// lock-free pre-check the hot path uses.
+    fn beats(&self, total_ns: u64) -> bool {
+        total_ns > self.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// Stores `e` if it is strictly slower than the current exemplar
+    /// (rechecked under the lock — concurrent offers race benignly).
+    fn offer(&self, e: Exemplar) {
+        let mut slot = lock(&self.slot);
+        if slot.as_ref().is_none_or(|cur| e.total_ns > cur.total_ns) {
+            self.max_ns.store(e.total_ns, Ordering::Relaxed);
+            *slot = Some(e);
+        }
+    }
 }
 
 /// The two histograms backing one pipeline stage.
@@ -37,6 +83,8 @@ pub struct StageStats {
     pub total: Histogram,
     /// Wall time net of child spans.
     pub self_time: Histogram,
+    /// The slowest closed span for the stage.
+    exemplar: ExemplarCell,
 }
 
 #[derive(Debug)]
@@ -111,9 +159,19 @@ impl Tracer {
                 .inner
                 .registry
                 .histogram(&format!("drafts_stage_self_ns{{stage=\"{stage}\"}}")),
+            exemplar: ExemplarCell::default(),
         };
         stages.push((stage, stats.clone()));
         stats
+    }
+
+    /// The slowest closed span per stage, in stage-table (preregistered)
+    /// order; stages that have not closed a span yet are omitted.
+    pub fn exemplars(&self) -> Vec<Exemplar> {
+        lock(&self.inner.stages)
+            .iter()
+            .filter_map(|(_, stats)| lock(&stats.exemplar.slot).clone())
+            .collect()
     }
 
     /// Installs this tracer as the current thread's ambient span sink,
@@ -209,16 +267,23 @@ pub fn span(stage: &'static str) -> Span {
 }
 
 /// Deferred work a span close could not finish under the thread-local
-/// borrow: a journal append and/or an uncached stage record.
+/// borrow: a journal append, an uncached stage record, and/or a new
+/// slowest-span exemplar.
 struct SlowClose {
     tracer: Tracer,
     stage: &'static str,
     total_ns: u64,
-    /// `Some` when the stage missed the per-thread cache and still needs
-    /// its histograms recorded (carries the self time).
-    record_self_ns: Option<u64>,
-    /// `Some((depth, start_ns))` when a journal event must be appended.
-    journal: Option<(u16, u64)>,
+    self_ns: u64,
+    depth: u16,
+    start_ns: u64,
+    /// The stage missed the per-thread cache: histograms (and the
+    /// exemplar) still need recording.
+    record: bool,
+    /// A journal event must be appended.
+    journal: bool,
+    /// The cache-hit fast path saw this span beat the stage's exemplar
+    /// hint; the exemplar slot needs a locked offer.
+    exemplar: bool,
 }
 
 impl Drop for Span {
@@ -227,11 +292,12 @@ impl Drop for Span {
             return;
         }
         // Fast path: close the frame and record under the thread-local
-        // borrow. Histogram recording is lock-free and the stage stats
-        // come from the install-time cache, so closing a preregistered
+        // borrow. Histogram recording is lock-free, the stage stats come
+        // from the install-time cache, and the exemplar check is one
+        // relaxed load — so closing a preregistered, non-record-slowest
         // span with the journal off takes no lock at all. Journal
-        // appends and cache misses defer to outside the borrow, so the
-        // RefCell is never held across shared locks.
+        // appends, cache misses, and exemplar updates defer to outside
+        // the borrow, so the RefCell is never held across shared locks.
         let slow = AMBIENT.with(|cell| {
             let mut slot = cell.borrow_mut();
             let ambient = slot.as_mut()?;
@@ -241,15 +307,8 @@ impl Drop for Span {
                 parent.child_ns = parent.child_ns.saturating_add(total_ns);
             }
             let self_ns = total_ns.saturating_sub(frame.child_ns);
-            let journal = ambient.tracer.inner.journal.is_some().then(|| {
-                let start_ns = frame
-                    .start
-                    .duration_since(ambient.tracer.inner.epoch)
-                    .as_nanos()
-                    .min(u64::MAX as u128) as u64;
-                (ambient.stack.len() as u16, start_ns)
-            });
-            let record_self_ns = match ambient
+            let journal = ambient.tracer.inner.journal.is_some();
+            let (record, exemplar) = match ambient
                 .stats_cache
                 .iter()
                 .find(|(name, _)| *name == frame.stage)
@@ -257,32 +316,52 @@ impl Drop for Span {
                 Some((_, stats)) => {
                     stats.total.record_ns(total_ns);
                     stats.self_time.record_ns(self_ns);
-                    None
+                    (false, stats.exemplar.beats(total_ns))
                 }
-                None => Some(self_ns),
+                // Cache miss: the slow path records histograms and
+                // offers the exemplar itself.
+                None => (true, false),
             };
-            if record_self_ns.is_none() && journal.is_none() {
+            if !record && !journal && !exemplar {
                 return None;
             }
+            let start_ns = frame
+                .start
+                .duration_since(ambient.tracer.inner.epoch)
+                .as_nanos()
+                .min(u64::MAX as u128) as u64;
             Some(SlowClose {
                 tracer: ambient.tracer.clone(),
                 stage: frame.stage,
                 total_ns,
-                record_self_ns,
+                self_ns,
+                depth: ambient.stack.len() as u16,
+                start_ns,
+                record,
                 journal,
+                exemplar,
             })
         });
         let Some(slow) = slow else {
             return;
         };
-        if let Some(self_ns) = slow.record_self_ns {
+        if slow.record || slow.exemplar {
             let stats = slow.tracer.stage_stats(slow.stage);
-            stats.total.record_ns(slow.total_ns);
-            stats.self_time.record_ns(self_ns);
+            if slow.record {
+                stats.total.record_ns(slow.total_ns);
+                stats.self_time.record_ns(slow.self_ns);
+            }
+            stats.exemplar.offer(Exemplar {
+                stage: slow.stage,
+                total_ns: slow.total_ns,
+                self_ns: slow.self_ns,
+                start_ns: slow.start_ns,
+                depth: slow.depth,
+            });
         }
-        if let Some((depth, start_ns)) = slow.journal {
+        if slow.journal {
             if let Some(journal) = slow.tracer.journal() {
-                journal.push(slow.stage, depth, start_ns, slow.total_ns);
+                journal.push(slow.stage, slow.depth, slow.start_ns, slow.total_ns);
             }
         }
     }
@@ -380,6 +459,41 @@ mod tests {
         assert_eq!(events[1].depth, 0);
         assert!(events[1].dur_ns >= events[0].dur_ns);
         assert!(events[1].start_ns <= events[0].start_ns);
+    }
+
+    #[test]
+    fn exemplar_tracks_the_slowest_span_per_stage() {
+        let tracer = Tracer::new(Registry::new());
+        tracer.preregister(&["fast", "slow"]);
+        let _guard = tracer.install();
+        {
+            let _s = span("fast");
+        }
+        {
+            let _s = span("slow");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        {
+            // A quicker second close must not displace the exemplar.
+            let _s = span("slow");
+        }
+        let exemplars = tracer.exemplars();
+        assert_eq!(exemplars.len(), 2, "one exemplar per closed stage");
+        assert_eq!(exemplars[0].stage, "fast", "stage-table order");
+        assert_eq!(exemplars[1].stage, "slow");
+        assert!(exemplars[1].total_ns >= 2_000_000);
+        assert_eq!(exemplars[1].depth, 0);
+        assert_eq!(
+            tracer.stage_stats("slow").total.count(),
+            2,
+            "both closes recorded; only the slowest is the exemplar"
+        );
+        // Uncached stages (seen after install) still capture exemplars
+        // via the slow path.
+        {
+            let _s = span("late");
+        }
+        assert!(tracer.exemplars().iter().any(|e| e.stage == "late"));
     }
 
     #[test]

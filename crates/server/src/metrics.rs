@@ -12,8 +12,18 @@
 //! (`DraftsService::register_metrics`), again in canonical order — so
 //! two boots of the same service render byte-identical expositions under
 //! virtual time.
+//!
+//! The second observability layer also hangs off [`Metrics`]: the
+//! request-latency histogram and quote counters feed a [`WindowSet`] of
+//! rolling virtual-time windows, an [`SloMonitor`] judges the standing
+//! objectives (`/v1/slo`), and an optional [`EventLog`] ring collects
+//! structured events (`/v1/_debug/events`).
 
-use obs::{Counter, Registry, Tracer};
+use obs::{
+    Counter, EventLog, Histogram, Objective, Registry, SloMonitor, Source, Tracer,
+    WindowSet,
+};
+use std::sync::Arc;
 
 /// The routes the server distinguishes in its counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +99,62 @@ const REPLAY_METRICS: [&str; 3] = [
     "drafts_replay_throttle_failures_total",
 ];
 
+/// Rolling-window interval: one service recompute period of virtual time,
+/// so window boundaries line up with bucket boundaries.
+const WINDOW_INTERVAL_SECS: u64 = 900;
+
+/// Closed intervals retained per windowed metric (4 virtual hours).
+const WINDOW_RETAIN: usize = 16;
+
+/// The server's standing SLO objectives, evaluated at `/v1/slo`.
+///
+/// * `serve_latency` — 99% of requests answered under the (generous)
+///   threshold. The bucketed good-count cuts at the largest power-of-two
+///   boundary under the threshold (~268 ms), far above anything a healthy
+///   loopback request takes, so sequential CI drives stay byte-identical.
+/// * `bid_degraded` — at most 5% of `/v1/bid` quotes served degraded.
+/// * `feed_freshness` — instant-judged from the per-combo health rollup:
+///   any stale combo warns, an unavailable combo past 10% of the fleet
+///   breaches.
+fn standing_objectives() -> Vec<Objective> {
+    let burn = obs::slo::BP; // act at 1.0× budget-consumption rate
+    vec![
+        Objective {
+            name: "serve_latency",
+            target_bp: 9_900,
+            fast_intervals: 2,
+            slow_intervals: 8,
+            warn_burn_bp: burn,
+            breach_burn_bp: burn,
+            source: Source::LatencyUnder {
+                hist: "request_latency",
+                threshold_ns: 500_000_000,
+            },
+        },
+        Objective {
+            name: "bid_degraded",
+            target_bp: 9_500,
+            fast_intervals: 2,
+            slow_intervals: 8,
+            warn_burn_bp: burn,
+            breach_burn_bp: burn,
+            source: Source::BadTotal {
+                bad: "degraded",
+                total: "quotes",
+            },
+        },
+        Objective {
+            name: "feed_freshness",
+            target_bp: 9_000,
+            fast_intervals: 2,
+            slow_intervals: 8,
+            warn_burn_bp: burn,
+            breach_burn_bp: burn,
+            source: Source::Instant,
+        },
+    ]
+}
+
 /// Shared server metrics: counter handles plus the process registry and
 /// span tracer.
 #[derive(Debug, Clone)]
@@ -112,6 +178,18 @@ pub struct Metrics {
     /// Requests whose quote was served from a degraded (no-guarantee)
     /// feed.
     pub degraded_quotes: Counter,
+    /// All `/v1/bid` quotes served (the degraded-fraction denominator).
+    pub quotes_total: Counter,
+    /// End-to-end request handling latency (recorded by the worker around
+    /// the router; only its `_count` renders in the exposition).
+    pub request_latency: Histogram,
+    /// Rolling virtual-time windows over the latency histogram and quote
+    /// counters, advanced per request.
+    windows: WindowSet,
+    /// The standing SLO objectives evaluated at `/v1/slo`.
+    slo: Arc<SloMonitor>,
+    /// The structured event ring, when enabled.
+    events: Option<EventLog>,
 }
 
 impl Default for Metrics {
@@ -121,18 +199,25 @@ impl Default for Metrics {
 }
 
 impl Metrics {
-    /// Fresh zeroed metrics, span journal disabled.
+    /// Fresh zeroed metrics, span journal and event log disabled.
     pub fn new() -> Self {
-        Metrics::build(None)
+        Metrics::build(None, 0)
     }
 
     /// Fresh metrics with a bounded span journal of `capacity` events
     /// (served at `/v1/_debug/trace` when debug routes are on).
     pub fn with_journal(capacity: usize) -> Self {
-        Metrics::build(Some(capacity))
+        Metrics::build(Some(capacity), 0)
     }
 
-    fn build(journal: Option<usize>) -> Self {
+    /// Fresh metrics with both debug stores sized explicitly: a span
+    /// journal of `trace_journal` events and a structured event ring of
+    /// `event_log` entries (`0` disables either).
+    pub fn with_observability(trace_journal: usize, event_log: usize) -> Self {
+        Metrics::build((trace_journal > 0).then_some(trace_journal), event_log)
+    }
+
+    fn build(journal: Option<usize>, event_log: usize) -> Self {
         let registry = Registry::new();
         // Historical names first, historical order: the exposition stays
         // a strict superset of the pre-obs `/v1/metrics` output.
@@ -169,6 +254,20 @@ impl Metrics {
         for name in REPLAY_METRICS {
             registry.counter(name);
         }
+        // Second observability layer — registered after every family above
+        // so the exposition prefix stays frozen.
+        let quotes_total = registry.counter("drafts_quotes_total");
+        let request_latency = registry.histogram("drafts_request_latency_ns");
+        let events = (event_log > 0).then(|| {
+            let log = EventLog::new(event_log);
+            log.register_metrics(&registry);
+            log
+        });
+        let windows = WindowSet::new(WINDOW_INTERVAL_SECS, WINDOW_RETAIN);
+        windows.register_histogram("request_latency", &request_latency);
+        windows.register_counter("degraded", &degraded_quotes);
+        windows.register_counter("quotes", &quotes_total);
+        let slo = Arc::new(SloMonitor::new(standing_objectives()));
 
         Metrics {
             registry,
@@ -181,6 +280,11 @@ impl Metrics {
             status_5xx,
             handler_panics,
             degraded_quotes,
+            quotes_total,
+            request_latency,
+            windows,
+            slo,
+            events,
         }
     }
 
@@ -192,6 +296,21 @@ impl Metrics {
     /// The span tracer workers install.
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// The rolling virtual-time window set.
+    pub fn windows(&self) -> &WindowSet {
+        &self.windows
+    }
+
+    /// The standing SLO monitor.
+    pub fn slo(&self) -> &SloMonitor {
+        &self.slo
+    }
+
+    /// The structured event ring, if one was enabled at construction.
+    pub fn events(&self) -> Option<&EventLog> {
+        self.events.as_ref()
     }
 
     /// Counts one request on `route`.
@@ -290,6 +409,43 @@ drafts_degraded_quotes_total 0
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn second_layer_metrics_append_after_the_legacy_families() {
+        let text = Metrics::new().render_text();
+        for needle in [
+            "drafts_quotes_total 0",
+            "drafts_request_latency_ns_count 0",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        let replay = text.find("drafts_replay_requeues_total").unwrap();
+        let quotes = text.find("drafts_quotes_total").unwrap();
+        assert!(replay < quotes, "new families must append, not interleave");
+        // Event counters render only when the ring is enabled.
+        assert!(!text.contains("drafts_events_total"));
+        let with_events = Metrics::with_observability(0, 8);
+        assert!(with_events.events().is_some());
+        assert!(with_events
+            .render_text()
+            .contains("drafts_events_total{level=\"info\"} 0"));
+    }
+
+    #[test]
+    fn windows_track_the_quote_counters() {
+        let m = Metrics::new();
+        m.windows().advance(0);
+        m.quotes_total.inc();
+        m.quotes_total.inc();
+        m.degraded_quotes.inc();
+        assert_eq!(m.windows().counter_window("quotes", 1), Some(2));
+        assert_eq!(m.windows().counter_window("degraded", 1), Some(1));
+        m.request_latency.record_ns(1_000);
+        assert_eq!(
+            m.windows().hist_window("request_latency", 1).unwrap().count(),
+            1
+        );
     }
 
     #[test]

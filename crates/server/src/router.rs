@@ -10,6 +10,13 @@
 //!   surface as explicit `degraded: true` quotes.
 //! * `/v1/health?now=SECS` — the per-combo [`FeedHealth`] rollup.
 //! * `/v1/metrics` — counter text exposition.
+//! * `/v1/slo?now=SECS` — the standing SLO objectives evaluated over
+//!   rolling virtual-time windows (dual-window burn rates).
+//! * `/v1/_debug/events?n=N` — the newest `n` structured events (debug
+//!   routes only; 404 when the event ring is disabled).
+//! * `/v1/_debug/trace?n=N` — the newest `n` closed spans plus per-stage
+//!   slowest-request exemplars (debug routes only; wall clock, exempt
+//!   from byte determinism).
 //!
 //! The service clock is **virtual** (the underlying service is
 //! bucket-cached simulation time): `now` defaults to the configured
@@ -20,7 +27,9 @@
 use crate::http::{Request, Response};
 use crate::metrics::{Metrics, Route};
 use crate::{json::Json, wire};
+use drafts_core::service::FeedHealth;
 use drafts_core::DraftsService;
+use obs::InstantCounts;
 use spotmarket::{Az, Catalog, Combo};
 use std::sync::Arc;
 
@@ -59,6 +68,11 @@ impl Router {
         &self.service
     }
 
+    /// The serving time used when a request carries no `now` override.
+    pub fn default_now(&self) -> u64 {
+        self.default_now
+    }
+
     /// Classifies a path for metrics purposes.
     pub fn route_of(path: &str) -> Route {
         if path.starts_with("/v1/graphs/") {
@@ -85,12 +99,21 @@ impl Router {
         if req.method != "GET" {
             return Response::error(405, "only GET is supported");
         }
+        // Every request moves the rolling-window clock: windows close on
+        // virtual-time interval boundaries, never wall timers, so window
+        // readouts stay a pure function of the request sequence.
+        if let Ok(now) = self.now_of(req) {
+            metrics.windows().advance(now);
+        }
         match route {
             Route::Graphs => self.graphs(req),
             Route::Bid => self.bid(req, metrics),
             Route::Health => self.health(req),
             Route::Metrics => Response::text(200, metrics.render_text()),
             Route::Other => {
+                if req.path == "/v1/slo" {
+                    return self.slo(req, metrics);
+                }
                 if self.debug_routes {
                     if req.path == "/v1/_debug/panic" {
                         panic!("debug panic route hit");
@@ -98,10 +121,63 @@ impl Router {
                     if req.path == "/v1/_debug/trace" {
                         return Self::trace(req, metrics);
                     }
+                    if req.path == "/v1/_debug/events" {
+                        return Self::events(req, metrics);
+                    }
                 }
                 Response::error(404, "no such route")
             }
         }
+    }
+
+    /// `/v1/slo?now=` — evaluates the standing objectives over the
+    /// rolling windows (latency, degraded-quote fraction) and the instant
+    /// feed-health rollup. Byte-deterministic for a sequential request
+    /// sequence under virtual `?now=`: every rendered field is an integer
+    /// count or basis-point ratio.
+    fn slo(&self, req: &Request, metrics: &Metrics) -> Response {
+        let now = match self.now_of(req) {
+            Ok(n) => n,
+            Err(resp) => return resp,
+        };
+        let mut freshness = InstantCounts::default();
+        for ch in self.service.health_rollup(now) {
+            match ch.health {
+                FeedHealth::Fresh => freshness.good += 1,
+                FeedHealth::Stale { .. } => freshness.warn += 1,
+                FeedHealth::Unavailable => freshness.bad += 1,
+            }
+        }
+        let statuses = metrics.slo().evaluate(
+            now,
+            metrics.windows(),
+            &[("feed_freshness", freshness)],
+            metrics.events(),
+        );
+        Response::json(200, wire::slo_json(now, &statuses).render())
+    }
+
+    /// `/v1/_debug/events?n=` — the newest `n` structured events, oldest
+    /// first. 404 when the event ring is disabled. Event timestamps are
+    /// virtual, so for a sequential drive this output is byte-identical
+    /// across boots (unlike `/v1/_debug/trace`, which is wall clock).
+    fn events(req: &Request, metrics: &Metrics) -> Response {
+        let Some(log) = metrics.events() else {
+            return Response::error(404, "event log disabled");
+        };
+        let n = match req.query_param("n") {
+            None => 64,
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) => n,
+                Err(_) => return Response::error(400, "n must be an integer"),
+            },
+        };
+        let events = log.snapshot();
+        let skip = events.len().saturating_sub(n);
+        Response::json(
+            200,
+            wire::events_json(log.capacity(), &events[skip..]).render(),
+        )
     }
 
     /// `/v1/_debug/trace?n=` — the newest `n` closed spans from the
@@ -133,11 +209,28 @@ impl Router {
                 ])
             })
             .collect();
+        // Per-stage slowest-request exemplars ride along: the one span
+        // that set each stage's observed maximum so far.
+        let exemplars: Vec<Json> = metrics
+            .tracer()
+            .exemplars()
+            .iter()
+            .map(|e| {
+                Json::obj(vec![
+                    ("stage", Json::str(e.stage)),
+                    ("total_ns", Json::num_u64(e.total_ns)),
+                    ("self_ns", Json::num_u64(e.self_ns)),
+                    ("start_ns", Json::num_u64(e.start_ns)),
+                    ("depth", Json::num_u64(u64::from(e.depth))),
+                ])
+            })
+            .collect();
         Response::json(
             200,
             Json::obj(vec![
                 ("capacity", Json::num_u64(journal.capacity() as u64)),
                 ("events", Json::Arr(items)),
+                ("exemplars", Json::Arr(exemplars)),
             ])
             .render(),
         )
@@ -227,6 +320,7 @@ impl Router {
         };
         match self.service.cheapest_bid(p, duration, now) {
             Some(quote) => {
+                metrics.quotes_total.inc();
                 if quote.degraded {
                     metrics.degraded_quotes.inc();
                 }
@@ -403,6 +497,99 @@ mod tests {
             .unwrap();
         let resp = r.handle(&req, &Metrics::new());
         assert_eq!(resp.status, 405);
+    }
+
+    fn get_with(router: &Router, metrics: &Metrics, target: &str) -> (u16, String) {
+        let raw = format!("GET {target} HTTP/1.1\r\n\r\n");
+        let req = crate::http::read_request(&mut std::io::BufReader::new(raw.as_bytes()))
+            .unwrap();
+        let resp = router.handle(&req, metrics);
+        (resp.status, String::from_utf8(resp.body.clone()).unwrap())
+    }
+
+    #[test]
+    fn slo_route_reports_the_standing_objectives() {
+        let r = router();
+        let target = format!("/v1/slo?now={}", 20 * DAY);
+        let (status, doc) = get(&r, &target);
+        assert_eq!(status, 200);
+        assert_eq!(doc.get("now").unwrap().as_u64(), Some(20 * DAY));
+        let slos = doc.get("slos").unwrap().as_arr().unwrap();
+        let names: Vec<_> = slos
+            .iter()
+            .map(|s| s.get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(names, ["serve_latency", "bid_degraded", "feed_freshness"]);
+        for s in slos {
+            assert_eq!(s.get("state").unwrap().as_str(), Some("ok"), "{s:?}");
+        }
+        // The one registered combo is fresh at day 20.
+        let fresh = &slos[2];
+        assert_eq!(fresh.get("fast_good").unwrap().as_u64(), Some(1));
+        assert_eq!(fresh.get("fast_total").unwrap().as_u64(), Some(1));
+        assert_eq!(get(&r, "/v1/slo?now=abc").0, 400);
+        // Byte-identical across two fresh evaluations of the same state.
+        let m1 = Metrics::new();
+        let m2 = Metrics::new();
+        assert_eq!(get_with(&r, &m1, &target), get_with(&r, &m2, &target));
+    }
+
+    #[test]
+    fn slo_route_flags_an_unavailable_feed_as_breach() {
+        let r = router();
+        // Day 20 trace data plus a far-future `now`: the feed is long past
+        // its staleness budget, so feed_freshness must breach (1 of 1
+        // combos unavailable blows a 10% budget) and the degraded quote
+        // must drive the bid_degraded window.
+        let metrics = Metrics::with_observability(0, 16);
+        let now = 40 * DAY;
+        let (status, _) =
+            get_with(&r, &metrics, &format!("/v1/bid?duration=3600&now={now}"));
+        assert_eq!(status, 200);
+        assert_eq!(metrics.quotes_total.get(), 1);
+        assert_eq!(metrics.degraded_quotes.get(), 1);
+        let (status, body) = get_with(&r, &metrics, &format!("/v1/slo?now={now}"));
+        assert_eq!(status, 200);
+        let doc = Json::parse(&body).unwrap();
+        let slos = doc.get("slos").unwrap().as_arr().unwrap();
+        assert_eq!(slos[2].get("state").unwrap().as_str(), Some("breach"));
+        // Degraded fraction 1/1 against a 5% budget: breach there too.
+        assert_eq!(slos[1].get("state").unwrap().as_str(), Some("breach"));
+        // The transitions landed in the event ring.
+        let log = metrics.events().unwrap();
+        let kinds: Vec<_> = log.snapshot().iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, ["slo_transition", "slo_transition"]);
+        assert_eq!(log.emitted(obs::Level::Error), 2);
+    }
+
+    #[test]
+    fn events_route_gates_on_debug_and_ring_presence() {
+        let r = router().with_debug_routes();
+        // Debug on, ring off: explicit 404.
+        let (status, body) = get_with(&r, &Metrics::new(), "/v1/_debug/events");
+        assert_eq!(status, 404);
+        assert!(body.contains("event log disabled"), "{body}");
+        // Ring on: the dump renders virtual-time events oldest first.
+        let metrics = Metrics::with_observability(0, 8);
+        let log = metrics.events().unwrap();
+        log.emit(900, obs::Level::Info, "snapshot_swap", vec![("shard", "3".into())]);
+        log.emit(1800, obs::Level::Warn, "shed", vec![]);
+        let (status, body) = get_with(&r, &metrics, "/v1/_debug/events?n=1");
+        assert_eq!(status, 200);
+        let doc = Json::parse(&body).unwrap();
+        let events = doc.get("events").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 1, "n=1 keeps only the newest");
+        assert_eq!(events[0].get("kind").unwrap().as_str(), Some("shed"));
+        let (_, body) = get_with(&r, &metrics, "/v1/_debug/events?n=0");
+        let doc = Json::parse(&body).unwrap();
+        assert!(doc.get("events").unwrap().as_arr().unwrap().is_empty());
+        let (status, _) = get_with(&r, &metrics, "/v1/_debug/events?n=abc");
+        assert_eq!(status, 400);
+        // Debug routes off: the path falls through to the plain 404.
+        let plain = router();
+        let (status, body) = get_with(&plain, &metrics, "/v1/_debug/events");
+        assert_eq!(status, 404);
+        assert!(body.contains("no such route"), "{body}");
     }
 
     #[test]

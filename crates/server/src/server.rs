@@ -31,6 +31,7 @@
 use crate::http::{self, ParseError, Request, Response};
 use crate::metrics::Metrics;
 use crate::router::Router;
+use obs::Level;
 use parallel::lock_clean;
 use std::collections::VecDeque;
 use std::io::{self, BufReader, Write};
@@ -62,6 +63,11 @@ pub struct ServerConfig {
     /// default — span histograms still record, only the per-event ring
     /// buffer is off).
     pub trace_journal: usize,
+    /// Structured-event ring capacity; `0` disables the event log (the
+    /// default) and with it the `/v1/_debug/events` route. When enabled,
+    /// the ring collects health transitions, feed faults, snapshot swaps,
+    /// SLO transitions, shed, and drain events.
+    pub event_log: usize,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +80,7 @@ impl Default for ServerConfig {
             retry_after_secs: 1,
             debug_routes: false,
             trace_journal: 0,
+            event_log: 0,
         }
     }
 }
@@ -189,14 +196,17 @@ impl Server {
         assert!(cfg.accept_queue >= 1, "need a non-empty accept queue");
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        let metrics = if cfg.trace_journal > 0 {
-            Metrics::with_journal(cfg.trace_journal)
-        } else {
-            Metrics::new()
-        };
+        let metrics = Metrics::with_observability(cfg.trace_journal, cfg.event_log);
         // Expose the service's cache/health/fault counters in the same
         // registry, at boot, so the exposition order is canonical.
         router.service().register_metrics(metrics.registry());
+        // Route the service's structured events (health transitions, feed
+        // faults, snapshot swaps) into the server's ring. Attached after
+        // any `warm()` the caller ran, so a warmed boot starts the ring
+        // empty — identically on every boot.
+        if let Some(log) = metrics.events() {
+            router.service().attach_events(log);
+        }
         let shared = Arc::new(Shared {
             queue: ConnQueue::new(cfg.accept_queue),
             router,
@@ -250,6 +260,14 @@ impl Server {
     /// Panics if an admitted connection was dropped unserved — the drain
     /// invariant the end-to-end tests assert.
     pub fn shutdown(self) -> DrainReport {
+        if let Some(log) = self.shared.metrics.events() {
+            log.emit(
+                self.shared.router.default_now(),
+                Level::Info,
+                "drain_begin",
+                vec![],
+            );
+        }
         self.shared.draining.store(true, Ordering::Release);
         // Unblock the acceptor with a wake-up connection; it will observe
         // `draining` and exit. (The connection itself is admitted or shed
@@ -268,6 +286,17 @@ impl Server {
             shed: metrics.shed.get(),
             handler_panics: metrics.handler_panics.get(),
         };
+        if let Some(log) = metrics.events() {
+            log.emit(
+                self.shared.router.default_now(),
+                Level::Info,
+                "drain_end",
+                vec![
+                    ("admitted", report.admitted.to_string()),
+                    ("served", report.served.to_string()),
+                ],
+            );
+        }
         assert_eq!(
             report.admitted, report.served,
             "graceful drain dropped admitted connections"
@@ -306,6 +335,20 @@ fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
 /// Refuses a connection with 503 + `Retry-After` and closes it.
 fn shed(conn: TcpStream, shared: &Shared) {
     shared.metrics.shed.inc();
+    if let Some(log) = shared.metrics.events() {
+        // Shed happens before any request parses, so there is no `?now=`
+        // yet; the configured serving time stands in. Shed is inherently
+        // load-dependent and thus outside the byte-determinism contract.
+        log.emit(
+            shared.router.default_now(),
+            Level::Warn,
+            "shed",
+            vec![(
+                "retry_after_secs",
+                shared.cfg.retry_after_secs.to_string(),
+            )],
+        );
+    }
     let _ = conn.set_write_timeout(Some(shared.cfg.connection_deadline));
     let mut conn = conn;
     let resp = Response::overloaded(shared.cfg.retry_after_secs);
@@ -367,7 +410,15 @@ fn serve_connection(conn: TcpStream, shared: &Shared) {
                 return;
             }
         };
+        let watch = obs::Stopwatch::start();
         let resp = handle_isolated(&req, shared);
+        // Recorded before the status counter so a sequential client's
+        // `/v1/metrics` read always includes its previous request in both
+        // families (the two-boot byte diff depends on that ordering).
+        shared
+            .metrics
+            .request_latency
+            .record_ns(watch.elapsed().as_nanos() as u64);
         shared.metrics.count_status(resp.status);
         // Close after this response if the client asked, the per-conn
         // request budget is spent, or a drain has begun.

@@ -10,6 +10,10 @@
 //!   "degraded"}`
 //! * health — `{"counts":{"fresh","stale","unavailable"},"combos":[{
 //!   "region","az","type","state","age"?,"covered_until"}]}`
+//! * slo — `{"now","slos":[{"name","state","target_bp","fast_burn_bp",
+//!   "slow_burn_bp","fast_good","fast_total"}]}`
+//! * events — `{"capacity","events":[{"seq","now","level","kind",
+//!   "fields":{...}}]}`
 //!
 //! `degraded: true` mirrors PR 3's feed-health semantics exactly: it is
 //! set iff the backing response is [`FeedHealth::Unavailable`], i.e. the
@@ -19,6 +23,7 @@
 use crate::json::Json;
 use drafts_core::service::{BidQuote, ComboHealth, FeedHealth, GraphsResponse};
 use drafts_core::BidDurationGraph;
+use obs::{LogEvent, SloStatus};
 use spotmarket::{Catalog, Combo, Price};
 
 /// Bid prices cross the wire in dollars at tick (1/10000 USD) precision.
@@ -132,6 +137,69 @@ pub fn health_json(catalog: &Catalog, rollup: &[ComboHealth]) -> Json {
                         Json::Obj(
                             fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
                         )
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Encodes the `/v1/slo` report: every field is an integer count or a
+/// basis-point ratio, so the rendering is bit-deterministic.
+pub fn slo_json(now: u64, statuses: &[SloStatus]) -> Json {
+    Json::obj(vec![
+        ("now", Json::num_u64(now)),
+        (
+            "slos",
+            Json::Arr(
+                statuses
+                    .iter()
+                    .map(|s| {
+                        Json::obj(vec![
+                            ("name", Json::str(s.name)),
+                            ("state", Json::str(s.state.label())),
+                            ("target_bp", Json::num_u64(s.target_bp)),
+                            ("fast_burn_bp", Json::num_u64(s.fast_burn_bp)),
+                            ("slow_burn_bp", Json::num_u64(s.slow_burn_bp)),
+                            ("fast_good", Json::num_u64(s.fast_good)),
+                            ("fast_total", Json::num_u64(s.fast_total)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Encodes a `/v1/_debug/events` dump. `events` is already windowed to
+/// the newest `n`, oldest first; fields render as a nested object in
+/// emission order.
+pub fn events_json(capacity: usize, events: &[LogEvent]) -> Json {
+    Json::obj(vec![
+        ("capacity", Json::num_u64(capacity as u64)),
+        (
+            "events",
+            Json::Arr(
+                events
+                    .iter()
+                    .map(|e| {
+                        Json::obj(vec![
+                            ("seq", Json::num_u64(e.seq)),
+                            ("now", Json::num_u64(e.now)),
+                            ("level", Json::str(e.level.label())),
+                            ("kind", Json::str(e.kind)),
+                            (
+                                "fields",
+                                Json::Obj(
+                                    e.fields
+                                        .iter()
+                                        .map(|(k, v)| {
+                                            (k.to_string(), Json::Str(v.clone()))
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
                     })
                     .collect(),
             ),
@@ -265,6 +333,53 @@ mod tests {
         assert_eq!(combos[1].get("state").unwrap().as_str(), Some("stale"));
         assert_eq!(combos[1].get("age").unwrap().as_u64(), Some(1800));
         assert_eq!(combos[0].get("age"), None, "fresh rows carry no age");
+    }
+
+    #[test]
+    fn slo_report_renders_integer_fields_only() {
+        use obs::{SloState, SloStatus};
+        let statuses = vec![SloStatus {
+            name: "serve_latency",
+            state: SloState::Warn,
+            target_bp: 9_900,
+            fast_burn_bp: 15_000,
+            slow_burn_bp: 4_000,
+            fast_good: 97,
+            fast_total: 100,
+        }];
+        let rendered = slo_json(1_728_000, &statuses).render();
+        assert_eq!(
+            rendered,
+            "{\"now\":1728000,\"slos\":[{\"name\":\"serve_latency\",\
+             \"state\":\"warn\",\"target_bp\":9900,\"fast_burn_bp\":15000,\
+             \"slow_burn_bp\":4000,\"fast_good\":97,\"fast_total\":100}]}"
+        );
+    }
+
+    #[test]
+    fn events_dump_preserves_field_order() {
+        use obs::{EventLog, Level};
+        let log = EventLog::new(4);
+        log.emit(
+            900,
+            Level::Warn,
+            "health_transition",
+            vec![
+                ("combo", "us-east-1c/c3.4xlarge".to_string()),
+                ("from", "fresh".to_string()),
+                ("to", "stale".to_string()),
+            ],
+        );
+        let doc = Json::parse(&events_json(4, &log.snapshot()).render()).unwrap();
+        assert_eq!(doc.get("capacity").unwrap().as_u64(), Some(4));
+        let events = doc.get("events").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].get("seq").unwrap().as_u64(), Some(1));
+        assert_eq!(events[0].get("now").unwrap().as_u64(), Some(900));
+        assert_eq!(events[0].get("level").unwrap().as_str(), Some("warn"));
+        let fields = events[0].get("fields").unwrap();
+        assert_eq!(fields.get("from").unwrap().as_str(), Some("fresh"));
+        assert_eq!(fields.get("to").unwrap().as_str(), Some("stale"));
     }
 
     #[test]

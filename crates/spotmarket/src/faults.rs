@@ -29,6 +29,13 @@ use simrng::{Rng, StreamFactory};
 use std::sync::Arc;
 use tsforecast::TimeSeries;
 
+/// The canonical `az/type-id` label identifying a combo in metric labels
+/// and structured-event fields (e.g. `us-east-1b/3`). One definition so
+/// fault counters, health events, and test assertions never drift.
+pub fn combo_label(combo: Combo) -> String {
+    format!("{}/{}", combo.az, combo.ty.0)
+}
+
 /// A seeded description of how a combo's price feed misbehaves.
 ///
 /// All rates are per-update probabilities in `[0, 1)` except the outage
@@ -484,8 +491,7 @@ impl FeedSource for FaultyFeed {
     /// Exposes the per-kind fault counters, labelled by combo so several
     /// faulty feeds coexist in one registry.
     fn register_metrics(&self, registry: &Registry) {
-        let combo = self.truth.combo();
-        let label = format!("{}/{}", combo.az, combo.ty.0);
+        let label = combo_label(self.truth.combo());
         for (kind, counter) in [
             ("drop", &self.faults.drops),
             ("duplicate", &self.faults.duplicates),

@@ -180,6 +180,106 @@ fn fault_counters_match_the_injected_plan_totals() {
     )));
 }
 
+#[test]
+fn transition_and_fault_events_match_an_independent_replay_of_the_plan() {
+    let truth = Arc::new(history(23));
+    let plan = FaultPlan::with_intensity(20170404, 1.0);
+    let period = ServiceConfig::default().recompute_period;
+    let steps: Vec<u64> = (0..300u64).map(|i| 10 * DAY + i * period).collect();
+
+    let run = || {
+        let mut svc = DraftsService::new(service_cfg());
+        svc.register_feed(Arc::new(FaultyFeed::new(truth.clone(), plan)));
+        let log = drafts::obs::EventLog::new(4096);
+        svc.attach_events(&log);
+        let mut labels: Vec<Option<&'static str>> = Vec::new();
+        for &now in &steps {
+            labels.push(svc.fetch(combo(), now).map(|r| match r.health {
+                FeedHealth::Fresh => "fresh",
+                FeedHealth::Stale { .. } => "stale",
+                FeedHealth::Unavailable => "unavailable",
+            }));
+        }
+        (labels, log.snapshot())
+    };
+    let (labels, events) = run();
+
+    // The health_transition event stream must replay exactly the
+    // deduplicated health trace observable through the public fetch API —
+    // no missing, extra, or reordered transitions.
+    let mut expected: Vec<(String, String)> = Vec::new();
+    let mut prev: Option<&str> = None;
+    for &label in labels.iter().flatten() {
+        if prev != Some(label) {
+            expected.push((prev.unwrap_or("none").to_string(), label.to_string()));
+            prev = Some(label);
+        }
+    }
+    let got: Vec<(String, String)> = events
+        .iter()
+        .filter(|e| e.kind == "health_transition")
+        .map(|e| {
+            let field = |k: &str| {
+                e.fields.iter().find(|(n, _)| *n == k).unwrap().1.clone()
+            };
+            assert_eq!(
+                field("combo"),
+                format!("{}/{}", combo().az, combo().ty.0),
+                "events must carry the canonical combo label"
+            );
+            (field("from"), field("to"))
+        })
+        .collect();
+    assert_eq!(got, expected, "event stream diverges from the health trace");
+    // The hostile plan must exercise the full decay arc and a recovery.
+    let has = |f: &str, t: &str| expected.iter().any(|(a, b)| a == f && b == t);
+    assert!(has("fresh", "stale"), "no fresh->stale transition: {expected:?}");
+    assert!(
+        has("stale", "unavailable"),
+        "no stale->unavailable transition: {expected:?}"
+    );
+    assert!(
+        expected.iter().any(|(f, t)| t == "fresh" && f != "none"),
+        "no recovery back to fresh: {expected:?}"
+    );
+
+    // Fault onset / recovery events must match an independent replay of
+    // the service's retry loop against a twin feed built from the same
+    // plan (the same cross-check style the fault counters get above).
+    let twin = FaultyFeed::new(truth.clone(), plan);
+    let cfg = ServiceConfig::default();
+    let (mut faults, mut recoveries) = (0u64, 0u64);
+    for &bucket_time in &steps {
+        let mut poll_at = bucket_time;
+        let mut attempt: u32 = 0;
+        loop {
+            match twin.poll(poll_at, attempt) {
+                Ok(_) => {
+                    if attempt > 0 {
+                        recoveries += 1;
+                    }
+                    break;
+                }
+                Err(_) => {
+                    if attempt >= cfg.max_retries {
+                        faults += 1;
+                        break;
+                    }
+                    poll_at += cfg.retry_backoff << attempt;
+                    attempt += 1;
+                }
+            }
+        }
+    }
+    assert!(faults > 0, "an intensity-1 plan must exhaust some retry budgets");
+    let count = |kind: &str| events.iter().filter(|e| e.kind == kind).count() as u64;
+    assert_eq!(count("feed_fault"), faults);
+    assert_eq!(count("feed_recovered"), recoveries);
+
+    // And the whole event stream replays bit-for-bit from the same seed.
+    assert_eq!(run().1, events);
+}
+
 /// A feed with one fixed outage window.
 struct OutageFeed {
     inner: CleanFeed,

@@ -6,8 +6,9 @@
 use drafts_core::predictor::DraftsConfig;
 use drafts_core::service::{DraftsService, ServiceConfig};
 use spotmarket::archetype::Archetype;
+use spotmarket::faults::{CleanFeed, FeedError, FeedSource};
 use spotmarket::tracegen::{generate_with_archetype, TraceConfig};
-use spotmarket::{Az, Catalog, Combo, DAY};
+use spotmarket::{Az, Catalog, Combo, PriceHistory, DAY, HOUR};
 use loadgen::Client;
 use server::{Router, Server, ServerConfig};
 use std::io::{Read, Write};
@@ -319,6 +320,244 @@ fn metrics_exposition_is_byte_identical_across_two_boots() {
 }
 
 #[test]
+fn slo_and_events_routes_are_byte_identical_across_two_boots() {
+    // Two independently booted servers driven through the identical
+    // sequential request sequence — crossing a window-interval boundary —
+    // must render byte-identical `/v1/slo` and `/v1/_debug/events`
+    // bodies: window deltas, burn rates, and event timestamps are all
+    // pure functions of (seed, request sequence) under virtual `?now=`.
+    let cfg = ServerConfig {
+        event_log: 128,
+        ..ServerConfig::default()
+    };
+    let a = start_debug(83, cfg.clone());
+    let b = start_debug(83, cfg);
+    let drive = |addr: SocketAddr| {
+        for path in PATHS {
+            raw_get(addr, path);
+        }
+        raw_get(addr, &format!("/v1/bid?duration=3600&now={}", NOW + 900));
+        raw_get(addr, &format!("/v1/slo?now={}", NOW + 900));
+    };
+    drive(a.addr());
+    drive(b.addr());
+    for path in [
+        format!("/v1/slo?now={}", NOW + 1800),
+        "/v1/_debug/events?n=64".to_string(),
+        "/v1/_debug/events?n=0".to_string(),
+        "/v1/_debug/events?n=100000".to_string(),
+        "/v1/_debug/events".to_string(),
+    ] {
+        assert_eq!(
+            raw_get(a.addr(), &path),
+            raw_get(b.addr(), &path),
+            "response bytes differ for {path}"
+        );
+    }
+
+    // The zero-fault drive keeps every objective Ok.
+    let mut client = Client::new(a.addr(), Duration::from_secs(5));
+    let (status, body) = client
+        .get(&format!("/v1/slo?now={}", NOW + 1800))
+        .expect("slo get");
+    assert_eq!(status, 200);
+    let doc = server::Json::parse(&String::from_utf8(body).unwrap()).unwrap();
+    let slos = doc.get("slos").unwrap().as_arr().unwrap();
+    assert_eq!(slos.len(), 3);
+    for s in slos {
+        assert_eq!(s.get("state").unwrap().as_str(), Some("ok"), "{s:?}");
+    }
+
+    // The ring holds the boot-time health transitions (none -> fresh for
+    // each combo, stamped with the bucket's virtual time) and no warnings
+    // or errors at all.
+    let (status, body) = client.get("/v1/_debug/events?n=128").expect("events get");
+    assert_eq!(status, 200);
+    let doc = server::Json::parse(&String::from_utf8(body).unwrap()).unwrap();
+    let events = doc.get("events").unwrap().as_arr().unwrap();
+    let transitions: Vec<_> = events
+        .iter()
+        .filter(|e| e.get("kind").unwrap().as_str() == Some("health_transition"))
+        .collect();
+    assert_eq!(transitions.len(), 2, "one initial transition per combo");
+    for t in &transitions {
+        let fields = t.get("fields").unwrap();
+        assert_eq!(fields.get("from").unwrap().as_str(), Some("none"));
+        assert_eq!(fields.get("to").unwrap().as_str(), Some("fresh"));
+        assert_eq!(t.get("now").unwrap().as_u64(), Some(NOW));
+    }
+    assert!(events
+        .iter()
+        .all(|e| e.get("level").unwrap().as_str() == Some("info")));
+
+    // Edge cases: n=0 is empty, oversized n returns everything retained,
+    // malformed n is a 400.
+    let (status, body) = client.get("/v1/_debug/events?n=0").expect("n=0");
+    assert_eq!(status, 200);
+    let doc = server::Json::parse(&String::from_utf8(body).unwrap()).unwrap();
+    assert!(doc.get("events").unwrap().as_arr().unwrap().is_empty());
+    let (status, body) = client.get("/v1/_debug/events?n=100000").expect("big n");
+    assert_eq!(status, 200);
+    let doc = server::Json::parse(&String::from_utf8(body).unwrap()).unwrap();
+    assert_eq!(doc.get("capacity").unwrap().as_u64(), Some(128));
+    assert!(doc.get("events").unwrap().as_arr().unwrap().len() <= 128);
+    let (status, _) = client.get("/v1/_debug/events?n=abc").expect("bad n");
+    assert_eq!(status, 400);
+    drop(client);
+
+    // Ring disabled: 404 even with debug routes on.
+    let plain = start_debug(83, ServerConfig::default());
+    let mut client = Client::new(plain.addr(), Duration::from_secs(5));
+    let (status, _) = client.get("/v1/_debug/events").expect("disabled get");
+    assert_eq!(status, 404, "disabled event ring must 404");
+    drop(client);
+    plain.shutdown();
+    a.shutdown();
+    b.shutdown();
+}
+
+/// A feed with one fixed outage window over otherwise-clean data.
+struct OutageFeed {
+    inner: CleanFeed,
+    from: u64,
+    until: u64,
+}
+
+impl FeedSource for OutageFeed {
+    fn combo(&self) -> Combo {
+        self.inner.combo()
+    }
+    fn poll(&self, now: u64, attempt: u32) -> Result<Arc<PriceHistory>, FeedError> {
+        if (self.from..self.until).contains(&now) {
+            Err(FeedError::Outage { until: self.until })
+        } else {
+            self.inner.poll(now, attempt)
+        }
+    }
+}
+
+#[test]
+fn injected_outage_sweep_flips_slos_to_breach_with_events_in_the_ring() {
+    let start_outage = |seed: u64| {
+        let catalog = Catalog::standard();
+        let mut svc = DraftsService::new(ServiceConfig {
+            drafts: DraftsConfig {
+                changepoint: None,
+                autocorr: false,
+                duration_stride: 6,
+                ..DraftsConfig::default()
+            },
+            ..ServiceConfig::default()
+        });
+        let combo = Combo::new(
+            Az::parse("us-east-1c").unwrap(),
+            catalog.type_id("c3.4xlarge").unwrap(),
+        );
+        let truth = Arc::new(generate_with_archetype(
+            combo,
+            catalog,
+            &TraceConfig::days(30, seed),
+            Archetype::Choppy,
+        ));
+        svc.register_feed(Arc::new(OutageFeed {
+            inner: CleanFeed::new(truth),
+            from: NOW,
+            until: NOW + 12 * HOUR,
+        }));
+        let router = Router::new(Arc::new(svc), NOW).with_debug_routes();
+        Server::start(
+            router,
+            ServerConfig {
+                event_log: 256,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind loopback")
+    };
+    let drive = |addr: SocketAddr| -> (Vec<u8>, Vec<u8>) {
+        // Sweep virtual time from just before the outage deep into it, in
+        // recompute-period steps: fresh -> stale -> unavailable.
+        let mut client = Client::new(addr, Duration::from_secs(5));
+        for i in 0..=20u64 {
+            let now = NOW - 900 + i * 900;
+            let (status, _) = client
+                .get(&format!("/v1/bid?duration=3600&now={now}"))
+                .expect("bid sweep");
+            assert_eq!(status, 200, "degraded quotes still serve");
+        }
+        let slo = client
+            .get(&format!("/v1/slo?now={}", NOW + 5 * HOUR))
+            .expect("slo get");
+        assert_eq!(slo.0, 200);
+        let events = client.get("/v1/_debug/events?n=256").expect("events get");
+        assert_eq!(events.0, 200);
+        (slo.1, events.1)
+    };
+
+    let a = start_outage(91);
+    let (slo_a, events_a) = drive(a.addr());
+
+    let doc = server::Json::parse(&String::from_utf8(slo_a.clone()).unwrap()).unwrap();
+    let slos = doc.get("slos").unwrap().as_arr().unwrap();
+    let state_of = |name: &str| {
+        slos.iter()
+            .find(|s| s.get("name").unwrap().as_str() == Some(name))
+            .unwrap()
+            .get("state")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string()
+    };
+    // The single combo is long past its staleness budget: the instant
+    // freshness objective breaches, and every quote in the fast window
+    // was degraded, so the degraded-fraction objective breaches too.
+    assert_eq!(state_of("feed_freshness"), "breach");
+    assert_eq!(state_of("bid_degraded"), "breach");
+    assert_eq!(state_of("serve_latency"), "ok");
+
+    // The triggering events are all in the ring: the health decay arc,
+    // the retry exhaustion, and the SLO transitions themselves.
+    let doc = server::Json::parse(&String::from_utf8(events_a.clone()).unwrap()).unwrap();
+    let events = doc.get("events").unwrap().as_arr().unwrap();
+    let arcs: Vec<(String, String)> = events
+        .iter()
+        .filter(|e| e.get("kind").unwrap().as_str() == Some("health_transition"))
+        .map(|e| {
+            let f = e.get("fields").unwrap();
+            (
+                f.get("from").unwrap().as_str().unwrap().to_string(),
+                f.get("to").unwrap().as_str().unwrap().to_string(),
+            )
+        })
+        .collect();
+    let arc_strs: Vec<(&str, &str)> =
+        arcs.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+    assert_eq!(
+        arc_strs,
+        [("none", "fresh"), ("fresh", "stale"), ("stale", "unavailable")],
+        "health must decay through the full arc exactly once"
+    );
+    let kinds: Vec<&str> = events
+        .iter()
+        .map(|e| e.get("kind").unwrap().as_str().unwrap())
+        .collect();
+    assert!(kinds.contains(&"feed_fault"), "retry exhaustion must log");
+    assert!(
+        kinds.contains(&"slo_transition"),
+        "breach transitions must log"
+    );
+
+    // And the whole story replays bit-for-bit on a second boot.
+    let b = start_outage(91);
+    let (slo_b, events_b) = drive(b.addr());
+    assert_eq!(slo_a, slo_b, "slo body differs across boots");
+    assert_eq!(events_a, events_b, "event dump differs across boots");
+    a.shutdown();
+    b.shutdown();
+}
+
+#[test]
 fn debug_trace_route_serves_the_span_journal() {
     // Journal off: the route 404s even with debug routes enabled.
     let plain = start_debug(82, ServerConfig::default());
@@ -361,6 +600,25 @@ fn debug_trace_route_serves_the_span_journal() {
         assert!(prev_seq.is_none_or(|p| seq > p), "events must be oldest-first");
         prev_seq = Some(seq);
     }
+    // Per-stage slowest-request exemplars ride along with the journal.
+    let exemplars = doc.get("exemplars").unwrap().as_arr().unwrap();
+    assert!(!exemplars.is_empty(), "closed stages must expose exemplars");
+    for e in exemplars {
+        assert!(e.get("stage").unwrap().as_str().is_some());
+        let total = e.get("total_ns").unwrap().as_u64().unwrap();
+        assert!(total >= e.get("self_ns").unwrap().as_u64().unwrap());
+    }
+
+    // Edge cases: n=0 is empty, n beyond the ring capacity returns at
+    // most the capacity, malformed n is a 400.
+    let (status, body) = client.get("/v1/_debug/trace?n=0").expect("n=0");
+    assert_eq!(status, 200);
+    let doc = server::Json::parse(&String::from_utf8(body).unwrap()).unwrap();
+    assert!(doc.get("events").unwrap().as_arr().unwrap().is_empty());
+    let (status, body) = client.get("/v1/_debug/trace?n=100000").expect("big n");
+    assert_eq!(status, 200);
+    let doc = server::Json::parse(&String::from_utf8(body).unwrap()).unwrap();
+    assert!(doc.get("events").unwrap().as_arr().unwrap().len() <= 64);
     let (status, _) = client.get("/v1/_debug/trace?n=abc").expect("bad n");
     assert_eq!(status, 400);
     drop(client);
