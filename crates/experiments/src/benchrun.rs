@@ -1,8 +1,9 @@
 //! Perf-trajectory bench: `repro bench [--quick]`.
 //!
-//! Runs the serving-layer, snapshot and QBETS-kernel benches on the
-//! in-repo timing harness and writes two machine-readable trajectory
-//! files, `BENCH_serve.json` and `BENCH_qbets.json`, into the current
+//! Runs the serving-layer, snapshot, QBETS-kernel and fleet-proxy
+//! benches on the in-repo timing harness and writes three
+//! machine-readable trajectory files, `BENCH_serve.json`,
+//! `BENCH_qbets.json` and `BENCH_fleet.json`, into the current
 //! directory (the repo root in CI; override with `DRAFTS_BENCH_DIR`).
 //! The committed copies of these files are the perf trajectory across
 //! PRs: each PR refreshes them, and git history is the time series.
@@ -27,7 +28,7 @@
 //! and profile artifacts from the same commit.
 
 use crate::common::Scale;
-use crate::{profile, serve};
+use crate::{fleet, profile, serve};
 use bench::timing::{black_box, Harness, Measurement};
 use drafts_core::snapshot::Swap;
 use loadgen::Kind;
@@ -44,6 +45,8 @@ pub struct BenchOutput {
     pub serve_json: String,
     /// `BENCH_qbets.json` contents.
     pub qbets_json: String,
+    /// `BENCH_fleet.json` contents.
+    pub fleet_json: String,
     /// Window-bookkeeping cost as a share of `handle_bid` (percent).
     pub window_overhead_pct: f64,
     /// `svc_fetch` self time as a share of total self time (percent).
@@ -104,9 +107,11 @@ fn ns(m: Measurement) -> String {
 pub fn run(scale: Scale) -> BenchOutput {
     let (serve_json, window_overhead_pct, svc_fetch_self_pct) = serve_bench(scale);
     let qbets_json = qbets_bench();
+    let fleet_json = fleet_bench(scale);
     BenchOutput {
         serve_json,
         qbets_json,
+        fleet_json,
         window_overhead_pct,
         svc_fetch_self_pct,
     }
@@ -237,6 +242,64 @@ fn serve_bench(scale: Scale) -> (String, f64, f64) {
     )
 }
 
+/// The fleet-proxy trajectory: wall-clock medians for one proxied
+/// round trip per route through the routing front (client → front →
+/// owning shard and back over real loopback sockets), anchored by the
+/// ring's deterministic ownership checksum — the proof that two builds
+/// route the bench traffic identically, so the medians compare like
+/// with like across commits.
+fn fleet_bench(scale: Scale) -> String {
+    let plan = fleet::plan(scale);
+    let cfg = server::FleetConfig::new(plan.shards);
+    let ring = cfg.ring();
+    let keys: Vec<u64> = plan.combos.iter().map(|c| c.key()).collect();
+    let ring_checksum = ring.ownership_checksum(&keys);
+    let services = fleet::build_shard_services(&plan, &ring, scale);
+    for service in &services {
+        service.warm(plan.now);
+    }
+    let live = server::Fleet::start(services, plan.now, cfg.clone()).expect("boot fleet");
+    let mut client = loadgen::Client::new(live.addr(), std::time::Duration::from_secs(5));
+
+    let combo = plan.combos[0];
+    let catalog = spotmarket::Catalog::standard();
+    let graphs_path = format!(
+        "/v1/graphs/{}/{}/{}?p={}",
+        combo.az.region().name(),
+        combo.az.name(),
+        catalog.spec(combo.ty).name,
+        plan.workload.p,
+    );
+    let mut h = Harness::new("bench:fleet");
+    let proxy_graphs = h.bench("proxy_graphs", || {
+        black_box(client.get(black_box(&graphs_path)).expect("proxied graphs"))
+    });
+    let proxy_bid = h.bench("proxy_bid", || {
+        black_box(client.get("/v1/bid?duration=3600&p=0.95").expect("proxied bid"))
+    });
+    let proxy_health = h.bench("proxy_health", || {
+        black_box(client.get("/v1/health").expect("fleet health"))
+    });
+    live.shutdown();
+
+    let det: Vec<(&str, String)> = vec![
+        ("scale", format!("\"{}\"", scale.pick("quick", "paper"))),
+        ("fleet_seed", fleet::FLEET_SEED.to_string()),
+        ("shards", cfg.shards.to_string()),
+        ("replication", cfg.replication.to_string()),
+        ("vnodes", cfg.vnodes.to_string()),
+        ("combos", plan.combos.len().to_string()),
+        ("ring_checksum", format!("\"{ring_checksum:016x}\"")),
+        ("probe_interval", cfg.probe_interval.to_string()),
+    ];
+    let wall: Vec<(&str, String)> = vec![
+        ("proxy_graphs_ns", ns(proxy_graphs)),
+        ("proxy_bid_ns", ns(proxy_bid)),
+        ("proxy_health_ns", ns(proxy_health)),
+    ];
+    render("fleet", &det, &wall)
+}
+
 /// The QBETS-kernel trajectory: the paper's §3.3 claim that batch
 /// rebuilds are slow while warm state updates incrementally.
 fn qbets_bench() -> String {
@@ -303,7 +366,7 @@ mod tests {
     fn trajectory_files_have_stable_schema_and_deterministic_halves() {
         std::env::set_var("DRAFTS_BENCH_QUICK", "1");
         let out = run(Scale::Quick);
-        for json in [&out.serve_json, &out.qbets_json] {
+        for json in [&out.serve_json, &out.qbets_json, &out.fleet_json] {
             assert!(json.starts_with("{\n  \"schema\": \"drafts-bench/1\""));
             assert!(json.contains("\"deterministic\": {"));
             assert!(json.contains("\"wall_clock\": {"));
@@ -319,6 +382,9 @@ mod tests {
         for key in ["history_checksum", "batch_rebuild_ns", "upper_bound_p975"] {
             assert!(out.qbets_json.contains(key), "missing {key}");
         }
+        for key in ["ring_checksum", "proxy_graphs_ns", "proxy_bid_ns", "proxy_health_ns"] {
+            assert!(out.fleet_json.contains(key), "missing {key}");
+        }
         // The deterministic half is reproducible run to run.
         let det = |s: &str| {
             s.lines()
@@ -330,6 +396,7 @@ mod tests {
         let again = run(Scale::Quick);
         assert_eq!(det(&out.serve_json), det(&again.serve_json));
         assert_eq!(det(&out.qbets_json), det(&again.qbets_json));
+        assert_eq!(det(&out.fleet_json), det(&again.fleet_json));
         assert!(summarize(&out).contains("window bookkeeping"));
         std::env::remove_var("DRAFTS_BENCH_QUICK");
     }

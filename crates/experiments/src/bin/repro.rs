@@ -4,17 +4,21 @@
 //! repro <experiment> [--quick]
 //! experiment: table1 | figure1 | figure2 | figure3 | figure4
 //!           | table2 | table3 | table4 | table5 | tightness
-//!           | reflexivity | faults | serve | profile | bench | all
+//!           | reflexivity | faults | serve | profile | bench
+//!           | fleet | all
 //!
 //! `serve` boots the drafts-serve HTTP layer on an ephemeral loopback
 //! port and replays the seeded loadgen workload against it. `profile`
 //! is the same boot with span tracing on, reporting where each request
 //! spends its time per pipeline stage. `bench` runs the timing-harness
 //! benches over that boot plus the QBETS kernels and writes the
-//! `BENCH_serve.json` / `BENCH_qbets.json` trajectory files into the
-//! current directory (override with `DRAFTS_BENCH_DIR`). None of the
-//! three is part of `all`: their wall-clock halves depend on the
-//! machine.
+//! `BENCH_serve.json` / `BENCH_qbets.json` / `BENCH_fleet.json`
+//! trajectory files into the current directory (override with
+//! `DRAFTS_BENCH_DIR`). `fleet` boots the sharded fleet behind the
+//! consistent-hash front once per chaos scenario (0/1/2 shards killed
+//! mid-run) and writes the deterministic failover/attainment artifact
+//! `fleet.csv`. None of serve/profile/bench is part of `all`: their
+//! wall-clock halves depend on the machine.
 //! ```
 //!
 //! Artifacts (rendered tables + CSV series) land in `results/` (override
@@ -22,8 +26,8 @@
 
 use experiments::common::{self, Scale};
 use experiments::{
-    benchrun, faults, figure1, figure4, launch, profile, reflexivity, serve, table1, table2,
-    table3, table45,
+    benchrun, faults, figure1, figure4, fleet, launch, profile, reflexivity, serve, table1,
+    table2, table3, table45,
 };
 use obs::Stopwatch;
 
@@ -55,6 +59,7 @@ fn main() {
         "serve" => run_serve(scale),
         "profile" => run_profile(scale),
         "bench" => run_bench(scale),
+        "fleet" => run_fleet(scale),
         "all" => {
             run_table1_figure1_table4(scale);
             run_table45(scale, 5);
@@ -70,7 +75,7 @@ fn main() {
             eprintln!(
                 "unknown experiment '{other}'; expected table1|figure1|figure2|figure3|\
                  figure4|table2|table3|table4|table5|tightness|reflexivity|faults|serve|\
-                 profile|bench|all"
+                 profile|bench|fleet|all"
             );
             std::process::exit(2);
         }
@@ -204,11 +209,19 @@ fn run_bench(scale: Scale) {
     for (name, json) in [
         ("BENCH_serve.json", &out.serve_json),
         ("BENCH_qbets.json", &out.qbets_json),
+        ("BENCH_fleet.json", &out.fleet_json),
     ] {
         let path = dir.join(name);
         std::fs::write(&path, json).expect("write bench trajectory");
         eprintln!("wrote {}", common::display(&path));
     }
+}
+
+fn run_fleet(scale: Scale) {
+    let out = fleet::run(scale);
+    print!("{}", fleet::summarize(&out));
+    let path = common::write_artifact("fleet.csv", &fleet::deterministic_csv(&out));
+    eprintln!("wrote {}", common::display(&path));
 }
 
 fn run_profile(scale: Scale) {

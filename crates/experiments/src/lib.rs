@@ -23,12 +23,14 @@
 //! | `serve`   | serving-layer throughput/latency smoke    | [`serve`] |
 //! | `profile` | per-stage serving-pipeline profile        | [`profile`] |
 //! | `bench`   | `BENCH_*.json` perf-trajectory points     | [`benchrun`] |
+//! | `fleet`   | sharded-fleet chaos/failover sweep        | [`fleet`] |
 
 pub mod benchrun;
 pub mod common;
 pub mod faults;
 pub mod figure1;
 pub mod figure4;
+pub mod fleet;
 pub mod launch;
 pub mod profile;
 pub mod reflexivity;

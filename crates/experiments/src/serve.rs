@@ -99,6 +99,7 @@ pub fn plan(scale: Scale) -> ServePlan {
         combos: combos.clone(),
         p: 0.95,
         mix: [0.35, 0.5, 0.1, 0.05],
+        virtual_now: None,
     };
     // The accept queue comfortably exceeds the client count so the smoke
     // run never sheds: shed 503s are timing-dependent and would poison

@@ -94,6 +94,11 @@ pub struct WorkloadConfig {
     pub p: f64,
     /// Route mix weights `[graphs, bid, health, metrics]`.
     pub mix: [f64; 4],
+    /// When set to `(base, step)`, planned request `i` carries an
+    /// explicit `now=base + i*step` virtual-time override — the fleet
+    /// experiments use this to march requests across the chaos window
+    /// deterministically.
+    pub virtual_now: Option<(u64, u64)>,
 }
 
 impl WorkloadConfig {
@@ -148,7 +153,7 @@ pub fn build_plan(
     let mut t = 0.0f64;
     let mut per_combo_cursor = vec![0usize; cfg.combos.len()];
     (0..cfg.requests)
-        .map(|_| {
+        .map(|i| {
             t += gap.sample(&mut arrivals);
             let combo_ix = picks.next_below(cfg.combos.len() as u64) as usize;
             let combo = cfg.combos[combo_ix];
@@ -178,6 +183,11 @@ pub fn build_plan(
                 2 => (Kind::Health, "/v1/health".to_string()),
                 _ => (Kind::Metrics, "/v1/metrics".to_string()),
             };
+            let mut path = path;
+            if let Some((base, step)) = cfg.virtual_now {
+                let sep = if path.contains('?') { '&' } else { '?' };
+                path.push_str(&format!("{sep}now={}", base + i as u64 * step));
+            }
             Planned {
                 at: Duration::from_secs_f64(t),
                 kind,
@@ -228,6 +238,9 @@ pub struct RunReport {
     pub routes: BTreeMap<&'static str, RouteTally>,
     /// Responses that were not 200 (shed 503s land here).
     pub non_ok: u64,
+    /// 503 responses that were retried (each retry counts once; the
+    /// final answer after retries is what the route tallies record).
+    pub retries_503: u64,
     /// Wall-clock run duration.
     pub elapsed: Duration,
     /// Aggregate latency distribution (wall clock — NOT deterministic).
@@ -259,6 +272,7 @@ pub struct Client {
     addr: SocketAddr,
     conn: Option<BufReader<TcpStream>>,
     timeout: Duration,
+    retry_after: Option<u64>,
 }
 
 impl Client {
@@ -268,7 +282,14 @@ impl Client {
             addr,
             conn: None,
             timeout,
+            retry_after: None,
         }
+    }
+
+    /// The `Retry-After` seconds from the most recent response, if the
+    /// server sent the header (load-shed 503s do).
+    pub fn retry_after(&self) -> Option<u64> {
+        self.retry_after
     }
 
     fn connect(&mut self) -> std::io::Result<&mut BufReader<TcpStream>> {
@@ -296,6 +317,7 @@ impl Client {
     }
 
     fn roundtrip(&mut self, path: &str) -> std::io::Result<(u16, Vec<u8>)> {
+        self.retry_after = None;
         let reader = self.connect()?;
         let req = format!("GET {path} HTTP/1.1\r\nHost: drafts\r\n\r\n");
         reader.get_mut().write_all(req.as_bytes())?;
@@ -317,6 +339,7 @@ impl Client {
 
         let mut content_length = 0usize;
         let mut close = false;
+        let mut retry_after = None;
         loop {
             let mut line = String::new();
             if reader.read_line(&mut line)? == 0 {
@@ -342,6 +365,8 @@ impl Client {
                     && value.eq_ignore_ascii_case("close")
                 {
                     close = true;
+                } else if name.eq_ignore_ascii_case("retry-after") {
+                    retry_after = value.parse::<u64>().ok();
                 }
             }
         }
@@ -350,31 +375,102 @@ impl Client {
         if close {
             self.conn = None;
         }
+        self.retry_after = retry_after;
         Ok((status, body))
     }
 }
 
-/// Replays `plan` against `addr` with `clients` open-loop threads and
-/// aggregates the report.
+/// How [`run_with`] reacts to a shed 503: honor the server's
+/// `Retry-After` hint with a seeded, deterministic backoff instead of
+/// counting the shed and immediately reissuing.
+///
+/// The backoff for attempt `k` of a request is
+/// `min(retry_after, max_backoff) * (0.5 + u)` where `u` is a stateless
+/// uniform draw keyed by `(seed, path, k)` — two runs with the same seed
+/// sleep identically, and concurrent clients never share RNG state.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries per request after a 503 (0 = old behavior: count and
+    /// move on).
+    pub max_retries: u32,
+    /// Seed for the backoff jitter.
+    pub seed: u64,
+    /// Cap on one backoff sleep (keeps quick runs quick even though the
+    /// server hints whole seconds).
+    pub max_backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// No retries: a 503 is recorded as the final answer.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            seed: 0,
+            max_backoff: Duration::ZERO,
+        }
+    }
+
+    /// The default policy: up to 3 retries, 200 ms backoff cap.
+    pub fn seeded(seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            seed,
+            max_backoff: Duration::from_millis(200),
+        }
+    }
+}
+
+/// [`run_with`] under the default seeded [`RetryPolicy`].
 pub fn run(addr: SocketAddr, plan: &[Planned], clients: usize, timeout: Duration) -> RunReport {
+    run_with(addr, plan, clients, timeout, &RetryPolicy::seeded(0x5EED_0503))
+}
+
+/// Replays `plan` against `addr` with `clients` open-loop threads and
+/// aggregates the report. Shed 503s are retried per `retry`.
+pub fn run_with(
+    addr: SocketAddr,
+    plan: &[Planned],
+    clients: usize,
+    timeout: Duration,
+    retry: &RetryPolicy,
+) -> RunReport {
     assert!(clients > 0, "need at least one client");
     let started = Stopwatch::start();
     let observations: Mutex<Vec<Observation>> = Mutex::new(Vec::with_capacity(plan.len()));
+    let retries_503 = std::sync::atomic::AtomicU64::new(0);
 
     std::thread::scope(|scope| {
         for c in 0..clients {
             let observations = &observations;
+            let retries_503 = &retries_503;
             let slice: Vec<&Planned> = plan.iter().skip(c).step_by(clients).collect();
             scope.spawn(move || {
                 let mut client = Client::new(addr, timeout);
                 let mut local = Vec::with_capacity(slice.len());
+                let mut local_retries = 0u64;
                 for planned in slice {
                     // Open loop: wait out the schedule, not the server.
                     if let Some(wait) = planned.at.checked_sub(started.elapsed()) {
                         std::thread::sleep(wait);
                     }
                     let issued = Stopwatch::start();
-                    let Ok((status, body)) = client.get(&planned.path) else {
+                    let mut attempt: u32 = 0;
+                    let outcome = loop {
+                        match client.get(&planned.path) {
+                            Err(_) => break None,
+                            Ok((503, _)) if attempt < retry.max_retries => {
+                                let hint = client.retry_after().unwrap_or(1);
+                                let backoff = Duration::from_secs(hint)
+                                    .min(retry.max_backoff)
+                                    .mul_f64(0.5 + backoff_jitter(retry, planned, attempt));
+                                std::thread::sleep(backoff);
+                                attempt += 1;
+                            }
+                            Ok(resp) => break Some(resp),
+                        }
+                    };
+                    local_retries += u64::from(attempt);
+                    let Some((status, body)) = outcome else {
                         continue;
                     };
                     let mut seed = Vec::with_capacity(body.len() + 2);
@@ -392,6 +488,7 @@ pub fn run(addr: SocketAddr, plan: &[Planned], clients: usize, timeout: Duration
                     .lock()
                     .unwrap_or_else(|e| e.into_inner())
                     .extend(local);
+                retries_503.fetch_add(local_retries, std::sync::atomic::Ordering::Relaxed);
             });
         }
     });
@@ -426,10 +523,22 @@ pub fn run(addr: SocketAddr, plan: &[Planned], clients: usize, timeout: Duration
     RunReport {
         routes,
         non_ok,
+        retries_503: retries_503.into_inner(),
         elapsed,
         latency,
         route_latency,
     }
+}
+
+/// Uniform `[0, 1)` backoff jitter keyed by `(policy seed, path,
+/// attempt)` — stateless, so concurrent client threads never couple and
+/// two same-seed runs sleep identically.
+fn backoff_jitter(retry: &RetryPolicy, planned: &Planned, attempt: u32) -> f64 {
+    spotmarket::faults::hash_prob(
+        retry.seed,
+        "loadgen-retry",
+        fnv1a(planned.path.as_bytes()).wrapping_add(u64::from(attempt)),
+    )
 }
 
 #[cfg(test)]
@@ -455,6 +564,7 @@ mod tests {
             ],
             p: 0.95,
             mix: [0.4, 0.45, 0.1, 0.05],
+            virtual_now: None,
         }
     }
 
@@ -497,5 +607,89 @@ mod tests {
         // Pinned test vectors (FNV-1a 64).
         assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn virtual_now_marches_across_the_plan() {
+        let catalog = Catalog::standard();
+        let mut cfg = config();
+        cfg.virtual_now = Some((1_000_000, 5));
+        let plan = build_plan(&cfg, &StreamFactory::new(7), catalog);
+        for (i, planned) in plan.iter().enumerate() {
+            let want = format!("now={}", 1_000_000 + i as u64 * 5);
+            assert!(
+                planned.path.ends_with(&want),
+                "request {i} path {} missing {want}",
+                planned.path
+            );
+            // Exactly one separator introduces the override.
+            let seps = planned.path.matches(['?', '&']).count();
+            let qs = planned.path.split_once('?').unwrap().1;
+            assert_eq!(seps, 1 + qs.matches('&').count());
+        }
+    }
+
+    /// A hand-rolled two-response server: sheds the first request with a
+    /// `Retry-After` 503, serves the retry. Exercises the seeded backoff
+    /// path end to end without booting a real `drafts-serve`.
+    #[test]
+    fn retry_policy_honors_retry_after_on_503() {
+        use std::io::{Read, Write};
+        use std::net::TcpListener;
+
+        fn respond(listener: &TcpListener, head: &str, body: &[u8]) {
+            let (mut conn, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 1024];
+            let _ = conn.read(&mut buf);
+            let resp = format!(
+                "HTTP/1.1 {head}\r\nContent-Type: application/json\r\n\
+                 Content-Length: {}\r\nConnection: close\r\n\r\n",
+                body.len()
+            );
+            conn.write_all(resp.as_bytes()).unwrap();
+            conn.write_all(body).unwrap();
+        }
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let served = std::thread::spawn(move || {
+            respond(
+                &listener,
+                "503 Service Unavailable\r\nRetry-After: 1",
+                br#"{"error":"overloaded"}"#,
+            );
+            respond(&listener, "200 OK", br#"{"ok":true}"#);
+        });
+        let plan = vec![Planned {
+            at: Duration::ZERO,
+            kind: Kind::Health,
+            path: "/v1/health".to_string(),
+        }];
+        let report = run_with(
+            addr,
+            &plan,
+            1,
+            Duration::from_secs(5),
+            &RetryPolicy::seeded(7),
+        );
+        served.join().unwrap();
+        assert_eq!(report.retries_503, 1, "the shed response was retried");
+        assert_eq!(report.non_ok, 0, "the retry's 200 is the recorded answer");
+        assert_eq!(report.routes["health"].ok, 1);
+
+        // With retries disabled the shed is final — the old behavior.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let served = std::thread::spawn(move || {
+            respond(
+                &listener,
+                "503 Service Unavailable\r\nRetry-After: 1",
+                br#"{"error":"overloaded"}"#,
+            );
+        });
+        let report = run_with(addr, &plan, 1, Duration::from_secs(5), &RetryPolicy::none());
+        served.join().unwrap();
+        assert_eq!(report.retries_503, 0);
+        assert_eq!(report.non_ok, 1);
     }
 }

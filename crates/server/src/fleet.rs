@@ -1,0 +1,1134 @@
+//! Multi-shard fleet: N in-process drafts-serve instances behind one
+//! consistent-hash routing front, with health-driven failover.
+//!
+//! # Topology
+//!
+//! [`Fleet::start`] boots one [`crate::Router`]-backed [`Server`] per
+//! shard (each owning the combos its [`Ring`] slots assign to it, plus
+//! the replicas it covers) and one front [`Server`] running a
+//! [`FrontRouter`]: every `/v1/graphs`, `/v1/bid` and `/v1/health`
+//! request is proxied to the owning shard over the ordinary HTTP/1.1
+//! wire — the same wire external clients speak, so the fleet exercises
+//! the real transport, not an in-process shortcut.
+//!
+//! # Failover state machine
+//!
+//! The front tracks each shard through `Up → Degraded → Down` (plus the
+//! administrative `Draining`). Transitions are driven by *probes* of the
+//! shard's `/v1/health` rollup on a fixed virtual-time grid
+//! ([`FleetConfig::probe_interval`]): a reachable shard with no
+//! unavailable feeds is `Up`; one reporting unavailable feeds (or under
+//! a `Slow` fault) is `Degraded`; [`FleetConfig::down_after`]
+//! consecutive probe failures mark it `Down`, after which probing backs
+//! off exponentially (deterministically — the backoff is a pure
+//! function of the failure count, capped at `2^backoff_cap` grid slots).
+//! Because the grid is virtual time and [`spotmarket::faults::ShardFaults`]
+//! decisions are seeded, the whole probe history — and therefore every
+//! routing decision — is byte-reproducible.
+//!
+//! # Invariants (lifted from PR 3's single-process contract)
+//!
+//! * **Degraded answers are explicit, never silently stale**: any answer
+//!   served off-owner (failover) or from a `Degraded` shard is forced to
+//!   `degraded: true` and stamped with `served_by`/`failover` fields.
+//! * **A refused guarantee beats a silent one**: when no owner of a key
+//!   is routable the front answers `503` + `Retry-After` with
+//!   `degraded: true`, it never serves a guess.
+//! * **Drain never drops admitted work**: [`Fleet::drain_shard`] stops
+//!   routing *new* requests to a shard before its server drains, and
+//!   the shard's own `admitted == served` assertion still holds.
+
+use crate::http::{Request, Response};
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::ring::Ring;
+use crate::router::{parse_graphs_path, Router};
+use crate::server::{DrainReport, Handler, Server, ServerConfig};
+use crate::wire::{BidQuoteWire, HealthCountsWire};
+use drafts_core::DraftsService;
+use obs::{Counter, Registry};
+use parallel::lock_clean;
+use spotmarket::faults::{ShardFaultKind, ShardFaults};
+use spotmarket::{Az, Catalog, Combo};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Fleet tuning knobs.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of serving shards.
+    pub shards: usize,
+    /// Owners per key on the hash ring (primary + replicas).
+    pub replication: usize,
+    /// Virtual ring points per shard.
+    pub vnodes: usize,
+    /// Probe-grid spacing in virtual seconds.
+    pub probe_interval: u64,
+    /// Consecutive probe failures before a shard is `Down`.
+    pub down_after: u32,
+    /// Probe backoff cap: a failing shard is reprobed after
+    /// `2^min(failures, backoff_cap)` grid slots.
+    pub backoff_cap: u32,
+    /// Wall-clock deadline on proxied shard requests.
+    pub proxy_timeout: Duration,
+    /// Transport config for each shard server.
+    pub shard_server: ServerConfig,
+    /// Transport config for the front server.
+    pub front_server: ServerConfig,
+    /// Seeded chaos plan evaluated at the routing layer in virtual time.
+    pub faults: ShardFaults,
+}
+
+impl FleetConfig {
+    /// Defaults for a fleet of `shards` with replication factor 2
+    /// (clamped to the fleet size) and no faults.
+    pub fn new(shards: usize) -> FleetConfig {
+        FleetConfig {
+            shards,
+            replication: 2.min(shards),
+            vnodes: 64,
+            probe_interval: 30,
+            down_after: 2,
+            backoff_cap: 3,
+            proxy_timeout: Duration::from_secs(5),
+            shard_server: ServerConfig::default(),
+            front_server: ServerConfig::default(),
+            faults: ShardFaults::none(shards),
+        }
+    }
+
+    /// The ring this config induces.
+    pub fn ring(&self) -> Ring {
+        Ring::new(self.shards, self.replication, self.vnodes)
+    }
+}
+
+/// Where a shard stands in the failover state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardState {
+    /// Healthy: probes succeed, no unavailable feeds.
+    Up,
+    /// Serving but suspect: unavailable feeds, a `Slow` fault, or fewer
+    /// than `down_after` probe failures. Answers from it are forced
+    /// `degraded: true`.
+    Degraded,
+    /// Unroutable: `down_after` consecutive probe failures.
+    Down,
+    /// Administratively draining: no new requests are routed to it while
+    /// in-flight ones finish.
+    Draining,
+}
+
+impl ShardState {
+    /// Stable lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShardState::Up => "up",
+            ShardState::Degraded => "degraded",
+            ShardState::Down => "down",
+            ShardState::Draining => "draining",
+        }
+    }
+}
+
+/// Per-fleet routing counters, exposed as `drafts_fleet_*` metrics on
+/// the front's `/v1/metrics`.
+pub struct FleetCounters {
+    /// Answers served, per serving shard.
+    pub served: Vec<Counter>,
+    /// Answers served off-owner (failover), per serving shard.
+    pub failed_over: Vec<Counter>,
+    /// 200 answers forced or already `degraded: true`, per serving shard.
+    pub degraded: Vec<Counter>,
+    /// Probe failures observed, per probed shard.
+    pub probe_failures: Vec<Counter>,
+    /// Requests refused (503) because no owner was routable.
+    pub refused: Counter,
+    /// Proxy transport errors (dead connections, torn responses).
+    pub proxy_errors: Counter,
+}
+
+impl FleetCounters {
+    fn new(shards: usize) -> FleetCounters {
+        let col = |_: usize| Counter::new();
+        FleetCounters {
+            served: (0..shards).map(col).collect(),
+            failed_over: (0..shards).map(col).collect(),
+            degraded: (0..shards).map(col).collect(),
+            probe_failures: (0..shards).map(col).collect(),
+            refused: Counter::new(),
+            proxy_errors: Counter::new(),
+        }
+    }
+
+    fn register(&self, registry: &Registry, instances: &[String]) {
+        for (family, column) in [
+            ("served", &self.served),
+            ("failed_over", &self.failed_over),
+            ("degraded", &self.degraded),
+            ("probe_failures", &self.probe_failures),
+        ] {
+            for (instance, counter) in instances.iter().zip(column) {
+                registry.attach_counter(
+                    &format!("drafts_fleet_{family}_total{{shard=\"{instance}\"}}"),
+                    counter,
+                );
+            }
+        }
+        registry.attach_counter("drafts_fleet_refused_total", &self.refused);
+        registry.attach_counter("drafts_fleet_proxy_errors_total", &self.proxy_errors);
+    }
+}
+
+/// A pooled keep-alive connection to one shard (the front's own minimal
+/// HTTP/1.1 client — the server crate cannot depend on loadgen).
+struct ProxyConn {
+    addr: SocketAddr,
+    timeout: Duration,
+    conn: Option<BufReader<TcpStream>>,
+}
+
+impl ProxyConn {
+    fn new(addr: SocketAddr, timeout: Duration) -> ProxyConn {
+        ProxyConn {
+            addr,
+            timeout,
+            conn: None,
+        }
+    }
+
+    fn connect(&self) -> io::Result<BufReader<TcpStream>> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(BufReader::new(stream))
+    }
+
+    /// One GET round-trip; retries once on a torn pooled connection (the
+    /// shard may have closed an idle keep-alive between requests).
+    fn get(&mut self, target: &str) -> io::Result<(u16, Vec<u8>)> {
+        let pooled = self.conn.is_some();
+        match self.roundtrip(target) {
+            Ok(out) => Ok(out),
+            Err(err) => {
+                self.conn = None;
+                if pooled {
+                    self.roundtrip(target).inspect_err(|_| {
+                        self.conn = None;
+                    })
+                } else {
+                    Err(err)
+                }
+            }
+        }
+    }
+
+    fn roundtrip(&mut self, target: &str) -> io::Result<(u16, Vec<u8>)> {
+        if self.conn.is_none() {
+            self.conn = Some(self.connect()?);
+        }
+        let reader = self.conn.as_mut().expect("connection just established");
+        let request = format!("GET {target} HTTP/1.1\r\nHost: shard\r\n\r\n");
+        reader.get_mut().write_all(request.as_bytes())?;
+
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line)?;
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+
+        let mut content_length = 0usize;
+        let mut close = false;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line)?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                continue;
+            };
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim();
+            if name == "content-length" {
+                content_length = value.parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                })?;
+            } else if name == "connection" && value.eq_ignore_ascii_case("close") {
+                close = true;
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body)?;
+        if close {
+            self.conn = None;
+        }
+        Ok((status, body))
+    }
+}
+
+/// One probe-grid slot of a shard's failover fold.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    state: ShardState,
+    failures: u32,
+    /// First grid slot at which the shard is probed again (backoff).
+    next_probe: u64,
+}
+
+const SLOT_ZERO: Slot = Slot {
+    state: ShardState::Up,
+    failures: 0,
+    next_probe: 0,
+};
+
+enum ProbeOutcome {
+    Up,
+    Degraded,
+    Fail,
+}
+
+/// Folds one probe outcome into the previous slot — the pure core of
+/// the failover state machine, shared by the live fold and its tests.
+fn fold_slot(prev: Slot, outcome: ProbeOutcome, slot: u64, down_after: u32, cap: u32) -> Slot {
+    match outcome {
+        ProbeOutcome::Up => Slot {
+            state: ShardState::Up,
+            failures: 0,
+            next_probe: slot + 1,
+        },
+        ProbeOutcome::Degraded => Slot {
+            state: ShardState::Degraded,
+            failures: 0,
+            next_probe: slot + 1,
+        },
+        ProbeOutcome::Fail => {
+            let failures = prev.failures + 1;
+            Slot {
+                state: if failures >= down_after {
+                    ShardState::Down
+                } else {
+                    ShardState::Degraded
+                },
+                failures,
+                next_probe: slot + (1u64 << failures.min(cap)),
+            }
+        }
+    }
+}
+
+/// The front's view of one shard.
+struct ShardHandle {
+    instance: String,
+    addr: SocketAddr,
+    /// Set by [`Fleet::drain_shard`]: stop routing new requests here.
+    draining: AtomicBool,
+    /// Set when the shard's server is being shut down: returned pooled
+    /// connections are dropped instead of parked, so idle keep-alives
+    /// never pin the shard's drain on a read deadline.
+    pool_closed: AtomicBool,
+    pool: Mutex<Vec<ProxyConn>>,
+    /// Memoized probe fold, indexed by grid slot (lazily extended).
+    probes: Mutex<Vec<Slot>>,
+}
+
+/// The fleet routing front: implements [`Handler`] by proxying to the
+/// owning shard, with health-driven failover.
+pub struct FrontRouter {
+    catalog: &'static Catalog,
+    ring: Ring,
+    cfg: FleetConfig,
+    default_now: u64,
+    /// Union of every shard's registered combos, sorted by key — the
+    /// full market universe `/v1/health` must account for (a combo whose
+    /// owners are all down still shows up, as `unavailable`).
+    combos: Vec<Combo>,
+    shards: Vec<ShardHandle>,
+    counters: FleetCounters,
+}
+
+impl FrontRouter {
+    /// Builds the front over shards already listening on `addrs`.
+    pub fn new(
+        cfg: FleetConfig,
+        addrs: Vec<SocketAddr>,
+        mut combos: Vec<Combo>,
+        default_now: u64,
+    ) -> FrontRouter {
+        assert_eq!(addrs.len(), cfg.shards, "one address per shard");
+        assert_eq!(cfg.faults.shards(), cfg.shards, "fault plan fleet size");
+        combos.sort_by_key(|c| c.key());
+        combos.dedup();
+        let shards = addrs
+            .into_iter()
+            .enumerate()
+            .map(|(i, addr)| ShardHandle {
+                instance: format!("shard-{i}"),
+                addr,
+                draining: AtomicBool::new(false),
+                pool_closed: AtomicBool::new(false),
+                pool: Mutex::new(Vec::new()),
+                probes: Mutex::new(Vec::new()),
+            })
+            .collect();
+        FrontRouter {
+            catalog: Catalog::standard(),
+            ring: cfg.ring(),
+            counters: FleetCounters::new(cfg.shards),
+            cfg,
+            default_now,
+            combos,
+            shards,
+        }
+    }
+
+    /// The routing counters.
+    pub fn counters(&self) -> &FleetCounters {
+        &self.counters
+    }
+
+    /// The ring the front routes on.
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// Shard identity labels, in shard order.
+    pub fn instances(&self) -> Vec<&str> {
+        self.shards.iter().map(|s| s.instance.as_str()).collect()
+    }
+
+    /// Marks a shard as draining: no new requests are routed to it and
+    /// parked connections are dropped (in-flight ones finish and are
+    /// then dropped on return instead of re-parked).
+    pub fn begin_drain(&self, shard: usize) {
+        self.shards[shard].draining.store(true, Ordering::Release);
+        self.close_pool(shard);
+    }
+
+    /// Drops the parked connections to a shard and refuses re-parking.
+    pub fn close_pool(&self, shard: usize) {
+        self.shards[shard].pool_closed.store(true, Ordering::Release);
+        lock_clean(&self.shards[shard].pool).clear();
+    }
+
+    fn slot_of(&self, now: u64) -> u64 {
+        now.saturating_sub(self.default_now) / self.cfg.probe_interval
+    }
+
+    /// The shard's failover state at virtual time `now`, folding the
+    /// probe grid up to `now`'s slot (memoized; each slot is probed at
+    /// most once, ever, so concurrent requests agree on the history).
+    fn shard_state(&self, shard: usize, now: u64) -> ShardState {
+        if self.shards[shard].draining.load(Ordering::Acquire) {
+            return ShardState::Draining;
+        }
+        let want = self.slot_of(now) as usize;
+        let mut slots = lock_clean(&self.shards[shard].probes);
+        while slots.len() <= want {
+            let slot = slots.len() as u64;
+            let prev = slots.last().copied().unwrap_or(SLOT_ZERO);
+            let next = if slot < prev.next_probe {
+                // Backed off: carry the state without touching the shard.
+                prev
+            } else {
+                let t = self.default_now + slot * self.cfg.probe_interval;
+                let outcome = self.probe(shard, t);
+                if matches!(outcome, ProbeOutcome::Fail) {
+                    self.counters.probe_failures[shard].inc();
+                }
+                fold_slot(
+                    prev,
+                    outcome,
+                    slot,
+                    self.cfg.down_after,
+                    self.cfg.backoff_cap,
+                )
+            };
+            slots.push(next);
+        }
+        slots[want].state
+    }
+
+    /// One probe at virtual time `t`. Fault-plan decisions short-circuit
+    /// the network so chaos runs stay byte-deterministic; otherwise the
+    /// shard's real `/v1/health` answers.
+    fn probe(&self, shard: usize, t: u64) -> ProbeOutcome {
+        match self.cfg.faults.active(shard, t) {
+            Some(ShardFaultKind::Kill) | Some(ShardFaultKind::Hang) => {
+                return ProbeOutcome::Fail
+            }
+            Some(ShardFaultKind::Slow) => return ProbeOutcome::Degraded,
+            None => {}
+        }
+        match self.proxy_raw(shard, &format!("/v1/health?now={t}")) {
+            Ok((200, body)) => {
+                let parsed = std::str::from_utf8(&body)
+                    .ok()
+                    .and_then(|s| Json::parse(s).ok())
+                    .and_then(|doc| HealthCountsWire::from_json(&doc));
+                match parsed {
+                    Some(counts) if counts.unavailable == 0 => ProbeOutcome::Up,
+                    Some(_) => ProbeOutcome::Degraded,
+                    None => ProbeOutcome::Fail,
+                }
+            }
+            Ok(_) | Err(_) => ProbeOutcome::Fail,
+        }
+    }
+
+    /// Whether the front may route a request with virtual time `now` to
+    /// `shard`. Fault-plan kills/hangs are evaluated per request (not
+    /// just at probe boundaries) so a request landing inside a fault
+    /// window deterministically routes around the victim.
+    fn routable(&self, shard: usize, now: u64) -> bool {
+        if self.shards[shard].draining.load(Ordering::Acquire) {
+            return false;
+        }
+        if matches!(
+            self.cfg.faults.active(shard, now),
+            Some(ShardFaultKind::Kill) | Some(ShardFaultKind::Hang)
+        ) {
+            return false;
+        }
+        self.shard_state(shard, now) != ShardState::Down
+    }
+
+    /// One proxied GET to a shard, through its connection pool.
+    fn proxy_raw(&self, shard: usize, target: &str) -> io::Result<(u16, Vec<u8>)> {
+        let handle = &self.shards[shard];
+        let mut conn = lock_clean(&handle.pool)
+            .pop()
+            .unwrap_or_else(|| ProxyConn::new(handle.addr, self.cfg.proxy_timeout));
+        let result = conn.get(target);
+        if result.is_ok() && !handle.pool_closed.load(Ordering::Acquire) {
+            lock_clean(&handle.pool).push(conn);
+        }
+        result
+    }
+
+    /// Decorates a proxied answer with routing provenance and enforces
+    /// the never-silently-stale invariant: `force_degraded` (off-owner
+    /// service or a Degraded serving shard) flips an existing `degraded`
+    /// field to `true`; `served_by` and `failover` are appended to every
+    /// JSON object body.
+    fn decorate(
+        &self,
+        shard: usize,
+        off_owner: bool,
+        force_degraded: bool,
+        status: u16,
+        body: Vec<u8>,
+    ) -> Response {
+        let doc = std::str::from_utf8(&body)
+            .ok()
+            .and_then(|s| Json::parse(s).ok());
+        let Some(mut doc) = doc else {
+            self.counters.proxy_errors.inc();
+            return Response::error(502, "unparseable shard response");
+        };
+        if let Json::Obj(fields) = &mut doc {
+            if force_degraded {
+                for (name, value) in fields.iter_mut() {
+                    if name == "degraded" {
+                        *value = Json::Bool(true);
+                    }
+                }
+            }
+            fields.push((
+                "served_by".to_string(),
+                Json::Str(self.shards[shard].instance.clone()),
+            ));
+            fields.push(("failover".to_string(), Json::Bool(off_owner)));
+        }
+        self.counters.served[shard].inc();
+        if off_owner {
+            self.counters.failed_over[shard].inc();
+        }
+        if status == 200
+            && doc.get("degraded").and_then(Json::as_bool) == Some(true)
+        {
+            self.counters.degraded[shard].inc();
+        }
+        Response::json(status, doc.render())
+    }
+
+    /// The explicit refusal: 503 + `Retry-After`, `degraded: true` — a
+    /// refused guarantee, never a silently stale answer.
+    fn refuse(&self, msg: &str) -> Response {
+        self.counters.refused.inc();
+        let body = Json::obj(vec![
+            ("error", Json::str(msg)),
+            ("degraded", Json::Bool(true)),
+        ])
+        .render();
+        let mut resp = Response::json(503, body);
+        resp.extra_headers.push((
+            "Retry-After",
+            self.cfg.front_server.retry_after_secs.to_string(),
+        ));
+        resp
+    }
+
+    fn now_of(&self, req: &Request) -> Result<u64, Response> {
+        match req.query_param("now") {
+            None => Ok(self.default_now),
+            Some(v) => v
+                .parse::<u64>()
+                .map_err(|_| Response::error(400, "now must be an integer")),
+        }
+    }
+
+    fn graphs(&self, req: &Request, now: u64) -> Response {
+        let combo = match parse_graphs_path(self.catalog, &req.path) {
+            Ok(combo) => combo,
+            Err(resp) => return resp,
+        };
+        let owners = self.ring.owners(combo.key());
+        let primary = owners[0];
+        let target = target_of(req);
+        for shard in owners {
+            if !self.routable(shard, now) {
+                continue;
+            }
+            match self.proxy_raw(shard, &target) {
+                Ok((status, body)) => {
+                    let off_owner = shard != primary;
+                    let degraded_shard =
+                        self.shard_state(shard, now) == ShardState::Degraded;
+                    return self.decorate(
+                        shard,
+                        off_owner,
+                        off_owner || degraded_shard,
+                        status,
+                        body,
+                    );
+                }
+                Err(_) => {
+                    self.counters.proxy_errors.inc();
+                }
+            }
+        }
+        self.refuse("no owner routable for this market")
+    }
+
+    fn bid(&self, req: &Request, now: u64, metrics: &Metrics) -> Response {
+        let Some(duration) = req.query_param("duration") else {
+            return Response::error(400, "duration query parameter is required");
+        };
+        if duration.parse::<u64>().is_err() {
+            return Response::error(400, "duration must be an integer");
+        }
+        if let Some(v) = req.query_param("p") {
+            match v.parse::<f64>() {
+                Ok(p) if drafts_core::service::valid_probability(p) => {}
+                _ => return Response::error(400, "p must be in (0, 1]"),
+            }
+        }
+        let target = target_of(req);
+        // Scatter to every routable shard; each answers the cheapest
+        // guaranteed bid over the combos it registered (owned + replica
+        // copies), so replicas would duplicate owners' quotes. Dedup
+        // rule: keep a shard's quote only when it IS the quoted combo's
+        // primary, or the primary is unroutable (true failover).
+        let mut best: Option<BidCandidate> = None;
+        let mut fallback: Option<(u16, Vec<u8>, usize)> = None;
+        let mut any_routable = false;
+        for shard in 0..self.cfg.shards {
+            if !self.routable(shard, now) {
+                continue;
+            }
+            any_routable = true;
+            let (status, body) = match self.proxy_raw(shard, &target) {
+                Ok(out) => out,
+                Err(_) => {
+                    self.counters.proxy_errors.inc();
+                    continue;
+                }
+            };
+            if status != 200 {
+                if fallback.is_none() {
+                    fallback = Some((status, body, shard));
+                }
+                continue;
+            }
+            let Some((doc, wire)) = std::str::from_utf8(&body)
+                .ok()
+                .and_then(|s| Json::parse(s).ok())
+                .and_then(|doc| BidQuoteWire::from_json(&doc).map(|w| (doc, w)))
+            else {
+                self.counters.proxy_errors.inc();
+                continue;
+            };
+            let Some(az) = Az::parse(&wire.az) else {
+                continue;
+            };
+            let Some(ty) = self.catalog.type_id(&wire.type_name) else {
+                continue;
+            };
+            let key = Combo::new(az, ty).key();
+            let primary = self.ring.primary(key);
+            if shard != primary && self.routable(primary, now) {
+                continue; // the primary's own answer covers this combo
+            }
+            let off_owner = shard != primary;
+            let degraded = wire.degraded
+                || off_owner
+                || self.shard_state(shard, now) == ShardState::Degraded;
+            let candidate = BidCandidate {
+                shard,
+                off_owner,
+                degraded,
+                bid_usd: wire.bid_usd,
+                key,
+                doc,
+            };
+            best = Some(match best.take() {
+                None => candidate,
+                Some(held) => {
+                    if better_bid(&candidate, &held) {
+                        candidate
+                    } else {
+                        held
+                    }
+                }
+            });
+        }
+        match best {
+            Some(winner) => {
+                metrics.quotes_total.inc();
+                if winner.degraded {
+                    metrics.degraded_quotes.inc();
+                }
+                self.decorate(
+                    winner.shard,
+                    winner.off_owner,
+                    winner.degraded,
+                    200,
+                    winner.doc.render().into_bytes(),
+                )
+            }
+            None if !any_routable => self.refuse("no shard routable"),
+            None => match fallback {
+                // Uniform non-200 (e.g. 404 "no market guarantees"):
+                // relay the first shard's verdict verbatim.
+                Some((status, body, shard)) => {
+                    self.decorate(shard, false, false, status, body)
+                }
+                None => self.refuse("every routable shard failed"),
+            },
+        }
+    }
+
+    fn health(&self, now: u64) -> Response {
+        // Collect each routable shard's own rollup once.
+        let mut docs: Vec<Option<Json>> = Vec::with_capacity(self.cfg.shards);
+        let mut shard_rows = Vec::with_capacity(self.cfg.shards);
+        for shard in 0..self.cfg.shards {
+            let state = if self.shards[shard].draining.load(Ordering::Acquire) {
+                ShardState::Draining
+            } else if matches!(
+                self.cfg.faults.active(shard, now),
+                Some(ShardFaultKind::Kill) | Some(ShardFaultKind::Hang)
+            ) {
+                ShardState::Down
+            } else {
+                self.shard_state(shard, now)
+            };
+            let doc = if matches!(state, ShardState::Up | ShardState::Degraded) {
+                match self.proxy_raw(shard, &format!("/v1/health?now={now}")) {
+                    Ok((200, body)) => std::str::from_utf8(&body)
+                        .ok()
+                        .and_then(|s| Json::parse(s).ok()),
+                    _ => {
+                        self.counters.proxy_errors.inc();
+                        None
+                    }
+                }
+            } else {
+                None
+            };
+            let counts = doc.as_ref().and_then(HealthCountsWire::from_json);
+            let (fresh, stale, unavailable) = match counts {
+                Some(c) => (c.fresh, c.stale, c.unavailable),
+                None => (0, 0, 0),
+            };
+            shard_rows.push(Json::obj(vec![
+                ("instance", Json::Str(self.shards[shard].instance.clone())),
+                ("state", Json::str(state.label())),
+                ("fresh", Json::num_u64(fresh)),
+                ("stale", Json::num_u64(stale)),
+                ("unavailable", Json::num_u64(unavailable)),
+            ]));
+            docs.push(doc);
+        }
+        // Authoritative per-combo state: the first routable owner's row.
+        let mut fresh = 0u64;
+        let mut stale = 0u64;
+        let mut unavailable = 0u64;
+        let mut combo_rows = Vec::with_capacity(self.combos.len());
+        for &combo in &self.combos {
+            let owners = self.ring.owners(combo.key());
+            let primary = owners[0];
+            let serving = owners
+                .iter()
+                .copied()
+                .find_map(|shard| combo_state(docs[shard].as_ref()?, self.catalog, combo)
+                    .map(|state| (shard, state)));
+            let (served_by, state) = match serving {
+                Some((shard, state)) => (
+                    Json::Str(self.shards[shard].instance.clone()),
+                    state,
+                ),
+                None => (Json::Null, "unavailable".to_string()),
+            };
+            match state.as_str() {
+                "fresh" => fresh += 1,
+                "stale" => stale += 1,
+                _ => unavailable += 1,
+            }
+            combo_rows.push(Json::obj(vec![
+                ("region", Json::str(combo.az.region().name())),
+                ("az", Json::str(combo.az.name())),
+                ("type", Json::str(self.catalog.spec(combo.ty).name)),
+                ("state", Json::Str(state)),
+                (
+                    "owner",
+                    Json::Str(self.shards[primary].instance.clone()),
+                ),
+                ("served_by", served_by),
+            ]));
+        }
+        Response::json(
+            200,
+            Json::obj(vec![
+                ("now", Json::num_u64(now)),
+                ("instance", Json::str("fleet-front")),
+                (
+                    "counts",
+                    Json::obj(vec![
+                        ("fresh", Json::num_u64(fresh)),
+                        ("stale", Json::num_u64(stale)),
+                        ("unavailable", Json::num_u64(unavailable)),
+                    ]),
+                ),
+                ("shards", Json::Arr(shard_rows)),
+                ("combos", Json::Arr(combo_rows)),
+            ])
+            .render(),
+        )
+    }
+}
+
+/// A deduplicated `/v1/bid` candidate during scatter-gather.
+struct BidCandidate {
+    shard: usize,
+    off_owner: bool,
+    degraded: bool,
+    bid_usd: f64,
+    key: u64,
+    doc: Json,
+}
+
+/// Winner order: guaranteed beats degraded, then cheapest bid, then the
+/// lowest combo key and shard index as deterministic tie-breaks.
+fn better_bid(a: &BidCandidate, b: &BidCandidate) -> bool {
+    (a.degraded, a.bid_usd, a.key, a.shard)
+        .partial_cmp(&(b.degraded, b.bid_usd, b.key, b.shard))
+        == Some(std::cmp::Ordering::Less)
+}
+
+/// A shard's reported state for `combo` inside its `/v1/health` doc.
+fn combo_state(doc: &Json, catalog: &Catalog, combo: Combo) -> Option<String> {
+    let combos = doc.get("combos")?.as_arr()?;
+    let az = combo.az.name();
+    let ty = catalog.spec(combo.ty).name;
+    combos
+        .iter()
+        .find(|row| {
+            row.get("az").and_then(Json::as_str) == Some(az.as_str())
+                && row.get("type").and_then(Json::as_str) == Some(ty)
+        })
+        .and_then(|row| row.get("state"))
+        .and_then(Json::as_str)
+        .map(str::to_string)
+}
+
+/// Rebuilds the original request target (path + query) for proxying.
+fn target_of(req: &Request) -> String {
+    if req.query.is_empty() {
+        return req.path.clone();
+    }
+    let query: Vec<String> = req
+        .query
+        .iter()
+        .map(|(k, v)| {
+            if v.is_empty() {
+                k.clone()
+            } else {
+                format!("{k}={v}")
+            }
+        })
+        .collect();
+    format!("{}?{}", req.path, query.join("&"))
+}
+
+impl Handler for FrontRouter {
+    fn handle(&self, req: &Request, metrics: &Metrics) -> Response {
+        let route = Router::route_of(&req.path);
+        metrics.count_request(route);
+        let _span = obs::span(route.stage());
+        if req.method != "GET" {
+            return Response::error(405, "only GET is supported");
+        }
+        let now = match self.now_of(req) {
+            Ok(now) => now,
+            Err(resp) => return resp,
+        };
+        metrics.windows().advance(now);
+        match route {
+            crate::metrics::Route::Graphs => self.graphs(req, now),
+            crate::metrics::Route::Bid => self.bid(req, now, metrics),
+            crate::metrics::Route::Health => self.health(now),
+            crate::metrics::Route::Metrics => Response::text(200, metrics.render_text()),
+            crate::metrics::Route::Other => Response::error(404, "no such route"),
+        }
+    }
+
+    fn default_now(&self) -> u64 {
+        self.default_now
+    }
+
+    fn on_boot(&self, metrics: &Metrics) {
+        let instances: Vec<String> =
+            self.shards.iter().map(|s| s.instance.clone()).collect();
+        self.counters.register(metrics.registry(), &instances);
+    }
+}
+
+/// Aggregated drain outcome for the whole fleet.
+#[derive(Debug)]
+pub struct FleetDrainReport {
+    /// The front server's drain.
+    pub front: DrainReport,
+    /// Per-shard drains (`None` for shards already stopped earlier via
+    /// [`Fleet::drain_shard`] / [`Fleet::kill_shard`]).
+    pub shards: Vec<Option<DrainReport>>,
+}
+
+/// A running fleet: N shard servers plus the routing front.
+pub struct Fleet {
+    front: Option<Server>,
+    shard_servers: Vec<Option<Server>>,
+    router: Arc<FrontRouter>,
+}
+
+impl Fleet {
+    /// Boots one shard server per service (shard `i` serving
+    /// `services[i]`, identity `shard-{i}`) and the routing front.
+    ///
+    /// Each service should hold the combos the config's [`Ring`] assigns
+    /// shard `i` as primary **or** replica — the replication that makes
+    /// failover serve real data. [`Fleet::start`] does not enforce the
+    /// assignment; the experiments harness builds services from the same
+    /// ring it hands the front.
+    pub fn start(
+        services: Vec<Arc<DraftsService>>,
+        default_now: u64,
+        cfg: FleetConfig,
+    ) -> io::Result<Fleet> {
+        assert_eq!(services.len(), cfg.shards, "one service per shard");
+        let mut combos: Vec<Combo> = Vec::new();
+        let mut shard_servers = Vec::with_capacity(cfg.shards);
+        let mut addrs = Vec::with_capacity(cfg.shards);
+        for (i, service) in services.into_iter().enumerate() {
+            combos.extend(service.combos());
+            let router = Router::new(service, default_now)
+                .with_instance(format!("shard-{i}"));
+            let server = Server::start(router, cfg.shard_server.clone())?;
+            addrs.push(server.addr());
+            shard_servers.push(Some(server));
+        }
+        let router = Arc::new(FrontRouter::new(
+            cfg.clone(),
+            addrs,
+            combos,
+            default_now,
+        ));
+        let front = Server::start_shared(router.clone(), cfg.front_server)?;
+        Ok(Fleet {
+            front: Some(front),
+            shard_servers,
+            router,
+        })
+    }
+
+    /// The front's bound address — the one clients talk to.
+    pub fn addr(&self) -> SocketAddr {
+        self.front.as_ref().expect("front running").addr()
+    }
+
+    /// A shard server's bound address.
+    pub fn shard_addr(&self, shard: usize) -> SocketAddr {
+        self.shard_servers[shard]
+            .as_ref()
+            .expect("shard running")
+            .addr()
+    }
+
+    /// The routing front (counters, ring, drain flags).
+    pub fn front(&self) -> &FrontRouter {
+        &self.router
+    }
+
+    /// The front server's metrics.
+    pub fn front_metrics(&self) -> Arc<Metrics> {
+        self.front.as_ref().expect("front running").metrics()
+    }
+
+    /// Gracefully drains one shard mid-run (the SIGTERM path): the front
+    /// stops routing new requests to it first, in-flight requests
+    /// finish, and the shard's `admitted == served` invariant holds.
+    ///
+    /// # Panics
+    /// Panics if the shard was already stopped.
+    pub fn drain_shard(&mut self, shard: usize) -> DrainReport {
+        self.router.begin_drain(shard);
+        let server = self.shard_servers[shard]
+            .take()
+            .expect("shard already stopped");
+        server.shutdown()
+    }
+
+    /// Stops a shard *without* telling the front (the crash path): the
+    /// front keeps routing to it until proxy errors and failed probes
+    /// push it through Degraded to Down.
+    ///
+    /// # Panics
+    /// Panics if the shard was already stopped.
+    pub fn kill_shard(&mut self, shard: usize) -> DrainReport {
+        let server = self.shard_servers[shard]
+            .take()
+            .expect("shard already stopped");
+        // Parked front connections would pin the drain on a read
+        // deadline; drop them (the front will fail fresh connects and
+        // fail over, which is the point of the crash path).
+        self.router.close_pool(shard);
+        server.shutdown()
+    }
+
+    /// Drains the whole fleet, front first (so no request is in flight
+    /// when the shards drain), and returns every report.
+    pub fn shutdown(mut self) -> FleetDrainReport {
+        let front = self
+            .front
+            .take()
+            .expect("front running")
+            .shutdown();
+        let shards = self
+            .shard_servers
+            .iter_mut()
+            .enumerate()
+            .map(|(i, server)| {
+                server.take().map(|s| {
+                    self.router.close_pool(i);
+                    s.shutdown()
+                })
+            })
+            .collect();
+        FleetDrainReport { front, shards }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_of_round_trips_path_and_query() {
+        let raw = "GET /v1/bid?duration=3600&p=0.95&now=7 HTTP/1.1\r\n\r\n";
+        let req = crate::http::read_request(&mut BufReader::new(raw.as_bytes())).unwrap();
+        assert_eq!(target_of(&req), "/v1/bid?duration=3600&p=0.95&now=7");
+        let raw = "GET /v1/health HTTP/1.1\r\n\r\n";
+        let req = crate::http::read_request(&mut BufReader::new(raw.as_bytes())).unwrap();
+        assert_eq!(target_of(&req), "/v1/health");
+    }
+
+    #[test]
+    fn bid_winner_prefers_guaranteed_then_cheapest() {
+        let candidate = |shard, degraded, bid_usd| BidCandidate {
+            shard,
+            off_owner: false,
+            degraded,
+            bid_usd,
+            key: shard as u64,
+            doc: Json::Null,
+        };
+        let cheap_degraded = candidate(0, true, 0.10);
+        let pricey_guaranteed = candidate(1, false, 0.90);
+        assert!(
+            better_bid(&pricey_guaranteed, &cheap_degraded),
+            "guaranteed beats degraded at any price"
+        );
+        let cheaper = candidate(2, false, 0.50);
+        assert!(better_bid(&cheaper, &pricey_guaranteed));
+        assert!(!better_bid(&pricey_guaranteed, &cheaper));
+    }
+
+    #[test]
+    fn probe_fold_backs_off_and_recovers_deterministically() {
+        let down_after = 2;
+        let cap = 3;
+        // First failure: Degraded, reprobe after 2 slots.
+        let s1 = fold_slot(SLOT_ZERO, ProbeOutcome::Fail, 0, down_after, cap);
+        assert_eq!(s1.state, ShardState::Degraded);
+        assert_eq!(s1.failures, 1);
+        assert_eq!(s1.next_probe, 2);
+        // Second failure: Down, backoff doubles.
+        let s2 = fold_slot(s1, ProbeOutcome::Fail, 2, down_after, cap);
+        assert_eq!(s2.state, ShardState::Down);
+        assert_eq!(s2.next_probe, 2 + 4);
+        // Backoff caps at 2^cap slots.
+        let s3 = fold_slot(s2, ProbeOutcome::Fail, 6, down_after, cap);
+        assert_eq!(s3.next_probe, 6 + 8);
+        let s4 = fold_slot(s3, ProbeOutcome::Fail, 14, down_after, cap);
+        assert_eq!(s4.next_probe, 14 + 8, "backoff is capped");
+        // A successful probe resets everything.
+        let s5 = fold_slot(s4, ProbeOutcome::Up, 22, down_after, cap);
+        assert_eq!(s5.state, ShardState::Up);
+        assert_eq!(s5.failures, 0);
+        assert_eq!(s5.next_probe, 23);
+    }
+
+    #[test]
+    fn decorate_forces_degraded_and_appends_provenance() {
+        let cfg = FleetConfig::new(2);
+        let addrs = vec![
+            "127.0.0.1:1".parse().unwrap(),
+            "127.0.0.1:2".parse().unwrap(),
+        ];
+        let front = FrontRouter::new(cfg, addrs, Vec::new(), 0);
+        let body = b"{\"bid_usd\":0.5,\"degraded\":false}".to_vec();
+        let resp = front.decorate(1, true, true, 200, body);
+        let doc = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(doc.get("degraded").unwrap().as_bool(), Some(true));
+        assert_eq!(doc.get("served_by").unwrap().as_str(), Some("shard-1"));
+        assert_eq!(doc.get("failover").unwrap().as_bool(), Some(true));
+        assert_eq!(front.counters.served[1].get(), 1);
+        assert_eq!(front.counters.failed_over[1].get(), 1);
+        assert_eq!(front.counters.degraded[1].get(), 1);
+        // On-owner fresh answers pass through untouched except provenance.
+        let body = b"{\"bid_usd\":0.5,\"degraded\":false}".to_vec();
+        let resp = front.decorate(0, false, false, 200, body);
+        let doc = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(doc.get("degraded").unwrap().as_bool(), Some(false));
+        assert_eq!(doc.get("failover").unwrap().as_bool(), Some(false));
+        assert_eq!(front.counters.failed_over[0].get(), 0);
+    }
+}

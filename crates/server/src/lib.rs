@@ -26,16 +26,20 @@
 //!
 //! [`DraftsService`]: drafts_core::DraftsService
 
+pub mod fleet;
 pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod ring;
 pub mod router;
 pub mod server;
 pub mod wire;
 
+pub use fleet::{Fleet, FleetConfig, FleetCounters, FleetDrainReport, FrontRouter, ShardState};
 pub use http::{Request, Response};
 pub use json::Json;
 pub use metrics::{Metrics, Route};
+pub use ring::Ring;
 pub use router::Router;
-pub use server::{DrainReport, Server, ServerConfig};
+pub use server::{DrainReport, Handler, Server, ServerConfig};
 pub use wire::{BidQuoteWire, HealthCountsWire};

@@ -1,0 +1,177 @@
+//! FNV consistent-hash ring: maps combo keys onto shard owners.
+//!
+//! Each shard contributes `vnodes` virtual points to the ring (FNV-1a of
+//! `shard-{i}/vnode-{v}`); a key hashes to a point on the same circle and
+//! is owned by the next `replication` **distinct** shards clockwise. The
+//! construction is a pure function of `(shards, replication, vnodes)` —
+//! no randomness, no addresses — so the front, the experiment harness,
+//! and the audit pass all derive the identical ownership map and the
+//! fleet artifacts stay byte-deterministic.
+//!
+//! Consistency matters for failover, not elasticity, here: when a shard
+//! dies, its keys fail over to the *next* owner on the ring (the replica
+//! that already registered those combos), and every other key keeps its
+//! owner — no global reshuffle mid-run.
+
+/// A consistent-hash ring over `shards` shard indices.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// `(point, shard)` sorted by point (ties broken by shard index so
+    /// construction order never matters).
+    points: Vec<(u64, u32)>,
+    shards: usize,
+    replication: usize,
+}
+
+impl Ring {
+    /// Builds the ring.
+    ///
+    /// # Panics
+    /// Panics on an empty fleet, zero vnodes, or a replication factor
+    /// outside `1..=shards`.
+    pub fn new(shards: usize, replication: usize, vnodes: usize) -> Ring {
+        assert!(shards >= 1, "empty fleet");
+        assert!(vnodes >= 1, "need at least one vnode per shard");
+        assert!(
+            (1..=shards).contains(&replication),
+            "replication {replication} outside 1..={shards}"
+        );
+        let mut points = Vec::with_capacity(shards * vnodes);
+        for shard in 0..shards {
+            for v in 0..vnodes {
+                let label = format!("shard-{shard}/vnode-{v}");
+                points.push((fnv1a(label.as_bytes()), shard as u32));
+            }
+        }
+        points.sort_unstable();
+        Ring {
+            points,
+            shards,
+            replication,
+        }
+    }
+
+    /// Fleet size.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Owners per key.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// The `replication` distinct shards owning `key`, primary first,
+    /// in failover order (clockwise from the key's ring position).
+    pub fn owners(&self, key: u64) -> Vec<usize> {
+        let h = fnv1a(&key.to_le_bytes());
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        let mut owners = Vec::with_capacity(self.replication);
+        for i in 0..self.points.len() {
+            let (_, shard) = self.points[(start + i) % self.points.len()];
+            let shard = shard as usize;
+            if !owners.contains(&shard) {
+                owners.push(shard);
+                if owners.len() == self.replication {
+                    break;
+                }
+            }
+        }
+        owners
+    }
+
+    /// The primary owner of `key` (`owners(key)[0]`).
+    pub fn primary(&self, key: u64) -> usize {
+        self.owners(key)[0]
+    }
+
+    /// Order-independent FNV checksum of the full ownership map for a
+    /// key set — the bench anchor proving two builds route identically.
+    pub fn ownership_checksum(&self, keys: &[u64]) -> u64 {
+        let mut acc = 0u64;
+        for &key in keys {
+            let mut bytes = Vec::with_capacity(8 + self.replication);
+            bytes.extend_from_slice(&key.to_le_bytes());
+            for owner in self.owners(key) {
+                bytes.push(owner as u8);
+            }
+            acc ^= fnv1a(&bytes);
+        }
+        acc
+    }
+}
+
+/// FNV-1a over raw bytes.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owners_are_distinct_stable_and_cover_every_shard() {
+        let ring = Ring::new(4, 2, 64);
+        let mut primaries = std::collections::HashSet::new();
+        for key in 0..1000u64 {
+            let owners = ring.owners(key);
+            assert_eq!(owners.len(), 2);
+            assert_ne!(owners[0], owners[1], "replicas must be distinct shards");
+            assert_eq!(owners, ring.owners(key), "ownership is stable");
+            assert_eq!(ring.primary(key), owners[0]);
+            primaries.insert(owners[0]);
+        }
+        assert_eq!(primaries.len(), 4, "1000 keys must hit every shard");
+    }
+
+    #[test]
+    fn two_builds_route_identically() {
+        let a = Ring::new(5, 3, 32);
+        let b = Ring::new(5, 3, 32);
+        let keys: Vec<u64> = (0..500).map(|i| i * 7919).collect();
+        assert_eq!(a.ownership_checksum(&keys), b.ownership_checksum(&keys));
+        for &key in &keys {
+            assert_eq!(a.owners(key), b.owners(key));
+        }
+    }
+
+    #[test]
+    fn losing_a_shard_only_moves_its_own_keys() {
+        // Consistency: keys whose owner set excludes the dead shard keep
+        // the same failover order; a ring rebuilt without the shard is
+        // not how failover works here (the front routes around the dead
+        // owner within the same ring), so the property to pin is that
+        // ownership depends only on (key, ring), never on liveness.
+        let ring = Ring::new(4, 2, 64);
+        for key in 0..200u64 {
+            let owners = ring.owners(key);
+            // Failover target = the first owner that is not the dead
+            // shard; for keys not owned by shard 0 that is the primary.
+            let dead = 0usize;
+            let survivor = owners.iter().copied().find(|&s| s != dead);
+            if owners[0] != dead {
+                assert_eq!(survivor, Some(owners[0]));
+            } else {
+                assert_eq!(survivor, Some(owners[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_ring_owns_everything() {
+        let ring = Ring::new(1, 1, 8);
+        assert_eq!(ring.owners(42), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "replication")]
+    fn replication_beyond_fleet_is_rejected() {
+        Ring::new(2, 3, 8);
+    }
+}

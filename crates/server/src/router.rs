@@ -43,6 +43,11 @@ pub struct Router {
     default_p: f64,
     /// Enables `/v1/_debug/panic` (stress tests only).
     debug_routes: bool,
+    /// Stable identity reported in `/v1/health` (`instance` field) so
+    /// fleet rollups and probe logs are attributable. Configured, not
+    /// derived from the bind address: ephemeral ports vary per boot and
+    /// would break two-boot byte determinism.
+    instance: String,
 }
 
 impl Router {
@@ -54,6 +59,7 @@ impl Router {
             default_now,
             default_p: 0.95,
             debug_routes: false,
+            instance: "drafts-serve".to_string(),
         }
     }
 
@@ -61,6 +67,18 @@ impl Router {
     pub fn with_debug_routes(mut self) -> Router {
         self.debug_routes = true;
         self
+    }
+
+    /// Sets the identity reported in `/v1/health` (fleet shards use
+    /// `shard-{i}`).
+    pub fn with_instance(mut self, instance: impl Into<String>) -> Router {
+        self.instance = instance.into();
+        self
+    }
+
+    /// The configured health-report identity.
+    pub fn instance(&self) -> &str {
+        &self.instance
     }
 
     /// The wrapped service.
@@ -246,30 +264,14 @@ impl Router {
     }
 
     fn graphs(&self, req: &Request) -> Response {
-        // /v1/graphs/{region}/{az}/{type}
-        let mut segments = req.path["/v1/graphs/".len()..].split('/');
-        let (Some(region), Some(az), Some(ty), None) = (
-            segments.next(),
-            segments.next(),
-            segments.next(),
-            segments.next(),
-        ) else {
-            return Response::error(400, "expected /v1/graphs/{region}/{az}/{type}");
-        };
-        let Some(az) = Az::parse(az) else {
-            return Response::error(404, "unknown availability zone");
-        };
-        if az.region().name() != region {
-            return Response::error(400, "az does not belong to region");
-        }
-        let Some(ty) = self.catalog.type_id(ty) else {
-            return Response::error(404, "unknown instance type");
+        let combo = match parse_graphs_path(self.catalog, &req.path) {
+            Ok(combo) => combo,
+            Err(resp) => return resp,
         };
         let now = match self.now_of(req) {
             Ok(n) => n,
             Err(resp) => return resp,
         };
-        let combo = Combo::new(az, ty);
         let Some(response) = self.service.fetch(combo, now) else {
             return Response::error(404, "no graphs published for this market");
         };
@@ -344,8 +346,60 @@ impl Router {
             Err(resp) => return resp,
         };
         let rollup = self.service.health_rollup(now);
-        Response::json(200, wire::health_json(self.catalog, &rollup).render())
+        Response::json(
+            200,
+            wire::health_json(self.catalog, &self.instance, &rollup).render(),
+        )
     }
+}
+
+impl crate::server::Handler for Router {
+    fn handle(&self, req: &Request, metrics: &Metrics) -> Response {
+        Router::handle(self, req, metrics)
+    }
+
+    fn default_now(&self) -> u64 {
+        self.default_now
+    }
+
+    fn on_boot(&self, metrics: &Metrics) {
+        // Expose the service's cache/health/fault counters in the boot
+        // registry (canonical exposition order), and route its structured
+        // events (health transitions, feed faults, snapshot swaps) into
+        // the server's ring when one is configured.
+        self.service.register_metrics(metrics.registry());
+        if let Some(log) = metrics.events() {
+            self.service.attach_events(log);
+        }
+    }
+}
+
+/// Parses `/v1/graphs/{region}/{az}/{type}` into a [`Combo`], with the
+/// route's 400/404 distinctions. Shared by [`Router`] and the fleet
+/// front (which must resolve the owning shard before proxying).
+pub(crate) fn parse_graphs_path(
+    catalog: &'static Catalog,
+    path: &str,
+) -> Result<Combo, Response> {
+    let mut segments = path["/v1/graphs/".len()..].split('/');
+    let (Some(region), Some(az), Some(ty), None) = (
+        segments.next(),
+        segments.next(),
+        segments.next(),
+        segments.next(),
+    ) else {
+        return Err(Response::error(400, "expected /v1/graphs/{region}/{az}/{type}"));
+    };
+    let Some(az) = Az::parse(az) else {
+        return Err(Response::error(404, "unknown availability zone"));
+    };
+    if az.region().name() != region {
+        return Err(Response::error(400, "az does not belong to region"));
+    }
+    let Some(ty) = catalog.type_id(ty) else {
+        return Err(Response::error(404, "unknown instance type"));
+    };
+    Ok(Combo::new(az, ty))
 }
 
 #[cfg(test)]

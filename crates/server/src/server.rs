@@ -30,7 +30,6 @@
 
 use crate::http::{self, ParseError, Request, Response};
 use crate::metrics::Metrics;
-use crate::router::Router;
 use obs::Level;
 use parallel::lock_clean;
 use std::collections::VecDeque;
@@ -41,6 +40,26 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// What a [`Server`] serves: one request in, one response out.
+///
+/// [`crate::Router`] (a single drafts-serve instance) and
+/// [`crate::fleet::FrontRouter`] (the fleet routing front) both implement
+/// this; the transport — admission, keep-alive, drain, panic isolation —
+/// is identical for every handler.
+pub trait Handler: Send + Sync + 'static {
+    /// Handles one parsed request.
+    fn handle(&self, req: &Request, metrics: &Metrics) -> Response;
+
+    /// The virtual serving time used when a request carries no `?now=`
+    /// (also stamped on transport-level events such as shed and drain).
+    fn default_now(&self) -> u64;
+
+    /// Called once at bind, before any request: register handler-owned
+    /// counters and attach event sinks so the exposition order is
+    /// canonical.
+    fn on_boot(&self, _metrics: &Metrics) {}
+}
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -161,7 +180,7 @@ impl ConnQueue {
 
 struct Shared {
     queue: ConnQueue,
-    router: Router,
+    handler: Arc<dyn Handler>,
     metrics: Arc<Metrics>,
     cfg: ServerConfig,
     /// Set when a drain has begun: keep-alive loops close after their
@@ -185,31 +204,43 @@ pub struct Server {
 
 impl Server {
     /// Binds `127.0.0.1:0` (an OS-assigned ephemeral port) and starts
-    /// serving `router`.
-    pub fn start(router: Router, cfg: ServerConfig) -> io::Result<Server> {
-        Server::bind("127.0.0.1:0", router, cfg)
+    /// serving `handler`.
+    pub fn start<H: Handler>(handler: H, cfg: ServerConfig) -> io::Result<Server> {
+        Server::bind("127.0.0.1:0", handler, cfg)
     }
 
     /// Binds `addr` and starts the acceptor and worker threads.
-    pub fn bind(addr: &str, router: Router, cfg: ServerConfig) -> io::Result<Server> {
+    pub fn bind<H: Handler>(addr: &str, handler: H, cfg: ServerConfig) -> io::Result<Server> {
+        Server::bind_shared(addr, Arc::new(handler), cfg)
+    }
+
+    /// [`Server::start`] for a handler the caller keeps a reference to
+    /// (the fleet front holds its [`crate::fleet::FrontRouter`] this way
+    /// to read routing counters and flip drain flags while serving).
+    pub fn start_shared(handler: Arc<dyn Handler>, cfg: ServerConfig) -> io::Result<Server> {
+        Server::bind_shared("127.0.0.1:0", handler, cfg)
+    }
+
+    /// [`Server::bind`] for a shared handler.
+    pub fn bind_shared(
+        addr: &str,
+        handler: Arc<dyn Handler>,
+        cfg: ServerConfig,
+    ) -> io::Result<Server> {
         assert!(cfg.workers >= 1, "need at least one worker");
         assert!(cfg.accept_queue >= 1, "need a non-empty accept queue");
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let metrics = Metrics::with_observability(cfg.trace_journal, cfg.event_log);
-        // Expose the service's cache/health/fault counters in the same
-        // registry, at boot, so the exposition order is canonical.
-        router.service().register_metrics(metrics.registry());
-        // Route the service's structured events (health transitions, feed
-        // faults, snapshot swaps) into the server's ring. Attached after
-        // any `warm()` the caller ran, so a warmed boot starts the ring
-        // empty — identically on every boot.
-        if let Some(log) = metrics.events() {
-            router.service().attach_events(log);
-        }
+        // The handler registers its own counters (service cache/health/
+        // fault families, fleet routing counters) in the same registry, at
+        // boot, so the exposition order is canonical; event sinks attach
+        // here too — after any `warm()` the caller ran — so a warmed boot
+        // starts the ring empty, identically on every boot.
+        handler.on_boot(&metrics);
         let shared = Arc::new(Shared {
             queue: ConnQueue::new(cfg.accept_queue),
-            router,
+            handler,
             metrics: Arc::new(metrics),
             cfg,
             draining: AtomicBool::new(false),
@@ -262,7 +293,7 @@ impl Server {
     pub fn shutdown(self) -> DrainReport {
         if let Some(log) = self.shared.metrics.events() {
             log.emit(
-                self.shared.router.default_now(),
+                self.shared.handler.default_now(),
                 Level::Info,
                 "drain_begin",
                 vec![],
@@ -288,7 +319,7 @@ impl Server {
         };
         if let Some(log) = metrics.events() {
             log.emit(
-                self.shared.router.default_now(),
+                self.shared.handler.default_now(),
                 Level::Info,
                 "drain_end",
                 vec![
@@ -340,7 +371,7 @@ fn shed(conn: TcpStream, shared: &Shared) {
         // yet; the configured serving time stands in. Shed is inherently
         // load-dependent and thus outside the byte-determinism contract.
         log.emit(
-            shared.router.default_now(),
+            shared.handler.default_now(),
             Level::Warn,
             "shed",
             vec![(
@@ -436,7 +467,7 @@ fn serve_connection(conn: TcpStream, shared: &Shared) {
 /// 500 and the connection (and worker) live on.
 fn handle_isolated(req: &Request, shared: &Shared) -> Response {
     match panic::catch_unwind(AssertUnwindSafe(|| {
-        shared.router.handle(req, &shared.metrics)
+        shared.handler.handle(req, &shared.metrics)
     })) {
         Ok(resp) => resp,
         Err(_) => {

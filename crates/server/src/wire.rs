@@ -8,8 +8,8 @@
 //!   "durability_secs"}]}]}`
 //! * bid quote — `{"region","az","type","bid_usd","durability_secs","p",
 //!   "degraded"}`
-//! * health — `{"counts":{"fresh","stale","unavailable"},"combos":[{
-//!   "region","az","type","state","age"?,"covered_until"}]}`
+//! * health — `{"instance","counts":{"fresh","stale","unavailable"},
+//!   "combos":[{"region","az","type","state","age"?,"covered_until"}]}`
 //! * slo — `{"now","slos":[{"name","state","target_bp","fast_burn_bp",
 //!   "slow_burn_bp","fast_good","fast_total"}]}`
 //! * events — `{"capacity","events":[{"seq","now","level","kind",
@@ -104,8 +104,10 @@ pub fn bid_quote_json(catalog: &Catalog, quote: &BidQuote) -> Json {
     Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
 }
 
-/// Encodes the `/v1/health` rollup.
-pub fn health_json(catalog: &Catalog, rollup: &[ComboHealth]) -> Json {
+/// Encodes the `/v1/health` rollup. `instance` is the serving process's
+/// stable configured identity (never the bind address — ephemeral ports
+/// would break two-boot byte determinism).
+pub fn health_json(catalog: &Catalog, instance: &str, rollup: &[ComboHealth]) -> Json {
     let mut fresh = 0u64;
     let mut stale = 0u64;
     let mut unavailable = 0u64;
@@ -117,6 +119,7 @@ pub fn health_json(catalog: &Catalog, rollup: &[ComboHealth]) -> Json {
         }
     }
     Json::obj(vec![
+        ("instance", Json::Str(instance.to_string())),
         (
             "counts",
             Json::obj(vec![
@@ -318,7 +321,9 @@ mod tests {
                 covered_until: 0,
             },
         ];
-        let doc = Json::parse(&health_json(catalog, &rollup).render()).unwrap();
+        let doc =
+            Json::parse(&health_json(catalog, "drafts-serve", &rollup).render()).unwrap();
+        assert_eq!(doc.get("instance").unwrap().as_str(), Some("drafts-serve"));
         let counts = HealthCountsWire::from_json(&doc).unwrap();
         assert_eq!(
             counts,

@@ -595,6 +595,179 @@ impl LaunchFaults {
     }
 }
 
+/// How a serving shard misbehaves during a fault window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ShardFaultKind {
+    /// Responds but slowly; answers are still correct (front should mark
+    /// the shard Degraded, not route around it).
+    Slow,
+    /// Accepts connections but never answers (front must time out and
+    /// fail over).
+    Hang,
+    /// The process is gone: connections are refused for the rest of the
+    /// run (`until` is ignored — kills never heal).
+    Kill,
+}
+
+impl ShardFaultKind {
+    /// Stable lowercase label for CSV/config rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShardFaultKind::Slow => "slow",
+            ShardFaultKind::Hang => "hang",
+            ShardFaultKind::Kill => "kill",
+        }
+    }
+}
+
+/// One scheduled shard fault: `shard` misbehaves as `kind` over the
+/// virtual-time window `[from, until)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardFault {
+    /// Index of the afflicted shard.
+    pub shard: usize,
+    /// Failure mode.
+    pub kind: ShardFaultKind,
+    /// Virtual second the fault begins (inclusive).
+    pub from: u64,
+    /// Virtual second the fault ends (exclusive; `u64::MAX` for kills).
+    pub until: u64,
+}
+
+/// A fleet-scope fault plan: which shards fail, how, and when — a pure
+/// function of the seed, so two runs with the same plan inject the same
+/// faults at the same virtual times, byte for byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardFaults {
+    shards: usize,
+    faults: Vec<ShardFault>,
+}
+
+impl ShardFaults {
+    /// No shard faults (the clean path) for a fleet of `shards`.
+    pub fn none(shards: usize) -> Self {
+        assert!(shards > 0, "empty fleet");
+        Self {
+            shards,
+            faults: Vec::new(),
+        }
+    }
+
+    /// An explicit plan.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range shard index or an empty window.
+    pub fn with(shards: usize, faults: Vec<ShardFault>) -> Self {
+        assert!(shards > 0, "empty fleet");
+        for f in &faults {
+            assert!(f.shard < shards, "fault on shard {} of {shards}", f.shard);
+            assert!(f.from < f.until, "empty fault window");
+        }
+        Self { shards, faults }
+    }
+
+    /// Samples a plan: `kills + hangs + slows` distinct victim shards
+    /// (chosen by a seeded shuffle), each faulting once with an onset in
+    /// the middle half of `window` so the run observes both the healthy
+    /// and the degraded regime. Kills last forever; hangs and slows heal
+    /// after an eighth of the window.
+    ///
+    /// # Panics
+    /// Panics if more victims are requested than there are shards, or on
+    /// an empty window.
+    pub fn sample(
+        seed: u64,
+        shards: usize,
+        window: (u64, u64),
+        kills: usize,
+        hangs: usize,
+        slows: usize,
+    ) -> Self {
+        assert!(shards > 0, "empty fleet");
+        let victims_wanted = kills + hangs + slows;
+        assert!(
+            victims_wanted <= shards,
+            "{victims_wanted} victims but only {shards} shards"
+        );
+        let (start, end) = window;
+        assert!(start < end, "empty fault window");
+        let span = end - start;
+        // Seeded Fisher-Yates over the shard indices picks distinct victims.
+        let factory = StreamFactory::new(seed);
+        let mut order: Vec<usize> = (0..shards).collect();
+        let mut rng = factory.stream_named("shard-victims");
+        for i in (1..shards).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let kinds = core::iter::empty()
+            .chain(core::iter::repeat_n(ShardFaultKind::Kill, kills))
+            .chain(core::iter::repeat_n(ShardFaultKind::Hang, hangs))
+            .chain(core::iter::repeat_n(ShardFaultKind::Slow, slows));
+        let faults = order
+            .into_iter()
+            .zip(kinds)
+            .enumerate()
+            .map(|(i, (shard, kind))| {
+                // Onset lands in the middle half of the window.
+                let jitter = hash_prob(seed, "shard-onset", i as u64);
+                let from = start + span / 4 + ((span / 2) as f64 * jitter) as u64;
+                let until = match kind {
+                    ShardFaultKind::Kill => u64::MAX,
+                    _ => (from + (span / 8).max(1)).min(end),
+                };
+                ShardFault {
+                    shard,
+                    kind,
+                    from,
+                    until,
+                }
+            })
+            .collect();
+        Self { shards, faults }
+    }
+
+    /// Fleet size the plan was built for.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_zero(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The scheduled faults.
+    pub fn faults(&self) -> &[ShardFault] {
+        &self.faults
+    }
+
+    /// The most severe fault afflicting `shard` at virtual time `now`
+    /// (`Kill` over `Hang` over `Slow`), if any.
+    pub fn active(&self, shard: usize, now: u64) -> Option<ShardFaultKind> {
+        self.faults
+            .iter()
+            .filter(|f| f.shard == shard && f.from <= now && now < f.until)
+            .map(|f| f.kind)
+            .max()
+    }
+
+    /// Stable one-token summary for CSV config rows, e.g.
+    /// `kill@2:1728150` — kind, victim shard, onset — joined by `+`;
+    /// `none` for the empty plan.
+    pub fn label(&self) -> String {
+        if self.faults.is_empty() {
+            return "none".to_string();
+        }
+        let parts: Vec<String> = self
+            .faults
+            .iter()
+            .map(|f| format!("{}@{}:{}", f.kind.label(), f.shard, f.from))
+            .collect();
+        parts.join("+")
+    }
+}
+
 /// A uniform `[0, 1)` draw keyed by `(seed, domain, index)` — stateless
 /// hashing (no stream consumed), so fault decisions at unrelated call
 /// sites never couple.
@@ -891,5 +1064,61 @@ mod tests {
             ..FaultPlan::none(0)
         }
         .validate();
+    }
+
+    #[test]
+    fn shard_faults_are_deterministic_and_distinct() {
+        let window = (1_000_000, 1_000_600);
+        let a = ShardFaults::sample(42, 4, window, 1, 1, 1);
+        let b = ShardFaults::sample(42, 4, window, 1, 1, 1);
+        assert_eq!(a, b, "same seed must produce the same plan");
+        let c = ShardFaults::sample(43, 4, window, 1, 1, 1);
+        assert_ne!(a, c, "different seed must produce a different plan");
+        let victims: std::collections::HashSet<usize> =
+            a.faults().iter().map(|f| f.shard).collect();
+        assert_eq!(victims.len(), 3, "victims must be distinct shards");
+        for f in a.faults() {
+            assert!(f.from >= window.0 + 150 && f.from < window.1);
+            if f.kind == ShardFaultKind::Kill {
+                assert_eq!(f.until, u64::MAX, "kills never heal");
+            } else {
+                assert!(f.until <= window.1);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_fault_active_prefers_most_severe() {
+        let plan = ShardFaults::with(
+            2,
+            vec![
+                ShardFault {
+                    shard: 0,
+                    kind: ShardFaultKind::Slow,
+                    from: 100,
+                    until: 300,
+                },
+                ShardFault {
+                    shard: 0,
+                    kind: ShardFaultKind::Kill,
+                    from: 200,
+                    until: u64::MAX,
+                },
+            ],
+        );
+        assert_eq!(plan.active(0, 50), None);
+        assert_eq!(plan.active(0, 150), Some(ShardFaultKind::Slow));
+        assert_eq!(plan.active(0, 250), Some(ShardFaultKind::Kill));
+        assert_eq!(plan.active(1, 250), None, "other shards are unaffected");
+        assert!(!plan.is_zero());
+        assert!(ShardFaults::none(2).is_zero());
+        assert_eq!(ShardFaults::none(2).label(), "none");
+        assert_eq!(plan.label(), "slow@0:100+kill@0:200");
+    }
+
+    #[test]
+    #[should_panic(expected = "victims but only")]
+    fn shard_faults_reject_too_many_victims() {
+        ShardFaults::sample(1, 2, (0, 100), 2, 1, 0);
     }
 }

@@ -1,0 +1,355 @@
+//! End-to-end fleet tests over real loopback sockets: chaos failover
+//! after a genuine shard crash, graceful drain mid-failover, explicit
+//! refusal when a key's whole owner set is gone, and two-boot byte
+//! determinism under a seeded logical fault plan.
+//!
+//! The experiments harness (`repro fleet`) exercises the *logical*
+//! fault path, where chaos is evaluated in virtual time and everything
+//! is byte-deterministic. These tests exercise the *transport* path:
+//! shards really stop, the front really sees connection failures, and
+//! the probe state machine really walks Up → Degraded → Down.
+
+use drafts_core::predictor::DraftsConfig;
+use drafts_core::service::ServiceConfig;
+use drafts_core::DraftsService;
+use server::{Fleet, FleetConfig, Json};
+use spotmarket::archetype::Archetype;
+use spotmarket::faults::ShardFaults;
+use spotmarket::tracegen::{generate_with_archetype, TraceConfig};
+use spotmarket::{Az, Catalog, Combo, PriceHistory, DAY};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SEED: u64 = 0xF1EE7;
+const NOW: u64 = 20 * DAY; // bucket-aligned; tests stay inside one bucket
+
+fn combos() -> Vec<Combo> {
+    let catalog = Catalog::standard();
+    [
+        ("us-east-1c", "c3.4xlarge"),
+        ("us-west-2a", "c4.large"),
+        ("us-east-1b", "c3.xlarge"),
+        ("us-west-1a", "c4.xlarge"),
+        ("us-east-1d", "c4.2xlarge"),
+        ("us-west-2b", "c3.large"),
+    ]
+    .iter()
+    .map(|&(az, ty)| {
+        Combo::new(
+            Az::parse(az).expect("known az"),
+            catalog.type_id(ty).expect("known type"),
+        )
+    })
+    .collect()
+}
+
+/// Builds the per-shard services from the config's ring (primary +
+/// replica each get the combo's history), warms them, boots the fleet.
+fn boot(cfg: FleetConfig) -> (Fleet, Vec<Combo>) {
+    let catalog = Catalog::standard();
+    let combos = combos();
+    let ring = cfg.ring();
+    let histories: Vec<PriceHistory> = combos
+        .iter()
+        .enumerate()
+        .map(|(i, &combo)| {
+            let archetype = match i % 3 {
+                0 => Archetype::Choppy,
+                1 => Archetype::Calm,
+                _ => Archetype::Spiky,
+            };
+            generate_with_archetype(
+                combo,
+                catalog,
+                &TraceConfig::days(30, SEED ^ (i as u64 + 1)),
+                archetype,
+            )
+        })
+        .collect();
+    let services: Vec<Arc<DraftsService>> = (0..cfg.shards)
+        .map(|shard| {
+            let mut svc = DraftsService::new(ServiceConfig {
+                drafts: DraftsConfig {
+                    changepoint: None,
+                    autocorr: false,
+                    duration_stride: 6,
+                    ..DraftsConfig::default()
+                },
+                ..ServiceConfig::default()
+            });
+            for (i, &combo) in combos.iter().enumerate() {
+                if ring.owners(combo.key()).contains(&shard) {
+                    svc.register(histories[i].clone());
+                }
+            }
+            svc.warm(NOW);
+            Arc::new(svc)
+        })
+        .collect();
+    let fleet = Fleet::start(services, NOW, cfg).expect("boot fleet");
+    (fleet, combos)
+}
+
+fn graphs_path(combo: Combo, now: u64) -> String {
+    let catalog = Catalog::standard();
+    format!(
+        "/v1/graphs/{}/{}/{}?p=0.95&now={now}",
+        combo.az.region().name(),
+        combo.az.name(),
+        catalog.spec(combo.ty).name,
+    )
+}
+
+fn get(client: &mut loadgen::Client, path: &str) -> (u16, Json) {
+    let (status, body) = client.get(path).expect("front reachable");
+    let text = std::str::from_utf8(&body).expect("utf8 body");
+    (status, Json::parse(text).expect("json body"))
+}
+
+fn str_field<'j>(doc: &'j Json, key: &str) -> &'j str {
+    doc.get(key).and_then(Json::as_str).unwrap_or("")
+}
+
+fn degraded(doc: &Json) -> bool {
+    doc.get("degraded").and_then(Json::as_bool).unwrap_or(false)
+}
+
+/// The tentpole invariant, checked response by response: an answer that
+/// claims to be fresh (`degraded: false`) must come from the combo's
+/// primary ring owner — anything else is silently stale.
+fn assert_fresh_or_tagged(cfg: &FleetConfig, combo: Combo, status: u16, doc: &Json) {
+    if status != 200 {
+        assert!(
+            degraded(doc),
+            "a refusal must be explicitly degraded: {}",
+            doc.render()
+        );
+        return;
+    }
+    if !degraded(doc) {
+        let primary = format!("shard-{}", cfg.ring().primary(combo.key()));
+        assert_eq!(
+            str_field(doc, "served_by"),
+            primary,
+            "fresh-looking answer not served by the primary owner"
+        );
+    }
+}
+
+#[test]
+fn crashed_shard_fails_over_with_explicit_degraded_tags() {
+    let cfg = FleetConfig::new(3);
+    let (mut fleet, combos) = boot(cfg.clone());
+    let ring = cfg.ring();
+    let mut client = loadgen::Client::new(fleet.addr(), Duration::from_secs(5));
+
+    // Healthy fleet: every combo fresh from its primary, and the shard
+    // servers answer with their own stable instance identities.
+    for &combo in &combos {
+        let (status, doc) = get(&mut client, &graphs_path(combo, NOW));
+        assert_eq!(status, 200);
+        assert!(!degraded(&doc), "healthy fleet must not degrade");
+        let primary = format!("shard-{}", ring.primary(combo.key()));
+        assert_eq!(str_field(&doc, "served_by"), primary);
+        assert_eq!(doc.get("failover").and_then(Json::as_bool), Some(false));
+    }
+    for shard in 0..cfg.shards {
+        let mut direct = loadgen::Client::new(fleet.shard_addr(shard), Duration::from_secs(5));
+        let (status, doc) = get(&mut direct, "/v1/health");
+        assert_eq!(status, 200);
+        assert_eq!(str_field(&doc, "instance"), format!("shard-{shard}"));
+    }
+
+    // Crash the primary owner of the first combo — the front is not
+    // told; it has to notice via proxy errors and failing probes.
+    let victim = ring.primary(combos[0].key());
+    fleet.kill_shard(victim);
+
+    // March virtual time across probe slots. Every answer stays either
+    // fresh-from-primary or explicitly degraded; victim-owned combos
+    // fail over to their replica.
+    for now in [NOW + 30, NOW + 60, NOW + 90, NOW + 120] {
+        for &combo in &combos {
+            let (status, doc) = get(&mut client, &graphs_path(combo, now));
+            assert_eq!(status, 200, "replication 2 absorbs one crash");
+            assert_fresh_or_tagged(&cfg, combo, status, &doc);
+            if ring.primary(combo.key()) == victim {
+                assert!(degraded(&doc), "failover answers must be tagged");
+                assert_ne!(str_field(&doc, "served_by"), format!("shard-{victim}"));
+                assert_eq!(doc.get("failover").and_then(Json::as_bool), Some(true));
+            }
+        }
+    }
+
+    // The probe state machine saw real failures and took the victim to
+    // `down`; the front's health rollup says so and still reports every
+    // combo as served (by the replicas).
+    assert!(fleet.front().counters().probe_failures[victim].get() >= 2);
+    let (status, health) = get(&mut client, &format!("/v1/health?now={}", NOW + 120));
+    assert_eq!(status, 200);
+    assert_eq!(str_field(&health, "instance"), "fleet-front");
+    let shards = health.get("shards").and_then(Json::as_arr).expect("shards");
+    assert_eq!(str_field(&shards[victim], "state"), "down");
+    let unavailable = health
+        .get("counts")
+        .and_then(|c| c.get("unavailable"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert_eq!(unavailable, 0, "replicas cover every combo");
+
+    // Bids keep flowing too: the winner is never silently stale.
+    let (status, bid) = get(&mut client, &format!("/v1/bid?duration=3600&now={}", NOW + 120));
+    assert_eq!(status, 200);
+    let quoted = Combo::new(
+        Az::parse(str_field(&bid, "az")).expect("az"),
+        Catalog::standard()
+            .type_id(str_field(&bid, "type"))
+            .expect("type"),
+    );
+    assert_fresh_or_tagged(&cfg, quoted, status, &bid);
+
+    fleet.shutdown();
+}
+
+#[test]
+fn graceful_drain_mid_failover_never_drops_admitted_work() {
+    let cfg = FleetConfig::new(3);
+    let (mut fleet, combos) = boot(cfg.clone());
+    let ring = cfg.ring();
+    let addr = fleet.addr();
+
+    // Put the fleet mid-failover first: crash one shard for real.
+    let crashed = ring.primary(combos[0].key());
+    fleet.kill_shard(crashed);
+    // Then gracefully drain a *different* shard while client threads
+    // hammer the front — the SIGTERM path under chaos.
+    let drained = (0..cfg.shards)
+        .find(|&s| s != crashed)
+        .expect("another shard");
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut workers = Vec::new();
+    for worker in 0..4 {
+        let stop = stop.clone();
+        let combos = combos.clone();
+        workers.push(std::thread::spawn(move || {
+            let mut client = loadgen::Client::new(addr, Duration::from_secs(5));
+            let mut answers = Vec::new();
+            let mut i = worker;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let combo = combos[i % combos.len()];
+                // Virtual time past the probe grid's first failure slots.
+                let path = graphs_path(combo, NOW + 30 + (i % 4) as u64 * 30);
+                if let Ok((status, body)) = client.get(&path) {
+                    answers.push((combo, status, body));
+                }
+                i += 1;
+            }
+            answers
+        }));
+    }
+    // Let the workers get in flight, then drain mid-traffic.
+    std::thread::sleep(Duration::from_millis(50));
+    let report = fleet.drain_shard(drained);
+    assert_eq!(
+        report.admitted, report.served,
+        "graceful drain dropped admitted work"
+    );
+    std::thread::sleep(Duration::from_millis(50));
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+
+    let mut total = 0usize;
+    for worker in workers {
+        for (combo, status, body) in worker.join().expect("worker") {
+            total += 1;
+            let text = std::str::from_utf8(&body).expect("utf8");
+            let doc = Json::parse(text).expect("json");
+            // Every answer across the crash + drain window is honest:
+            // fresh-from-primary, explicitly degraded, or an explicitly
+            // degraded refusal. Never a stale answer, never a torn one.
+            assert_fresh_or_tagged(&cfg, combo, status, &doc);
+        }
+    }
+    assert!(total > 0, "workers observed no traffic");
+
+    // After the drain the front refuses to route new work there.
+    let mut client = loadgen::Client::new(addr, Duration::from_secs(5));
+    for &combo in &combos {
+        let (status, doc) = get(&mut client, &graphs_path(combo, NOW + 150));
+        assert_fresh_or_tagged(&cfg, combo, status, &doc);
+        if status == 200 {
+            assert_ne!(
+                str_field(&doc, "served_by"),
+                format!("shard-{drained}"),
+                "front routed new work to a drained shard"
+            );
+        }
+    }
+    let (_, health) = get(&mut client, &format!("/v1/health?now={}", NOW + 150));
+    let shards = health.get("shards").and_then(Json::as_arr).expect("shards");
+    assert_eq!(str_field(&shards[drained], "state"), "draining");
+
+    fleet.shutdown();
+}
+
+#[test]
+fn losing_every_owner_refuses_explicitly_instead_of_guessing() {
+    // Two shards, replication 2: every combo is owned by both, so
+    // killing both leaves no routable owner for anything.
+    let cfg = FleetConfig::new(2);
+    let (mut fleet, combos) = boot(cfg.clone());
+    let mut client = loadgen::Client::new(fleet.addr(), Duration::from_secs(5));
+
+    fleet.kill_shard(0);
+    fleet.kill_shard(1);
+
+    // Walk past `down_after` probe slots so both shards are Down; the
+    // front must refuse with 503 + Retry-After + an explicit degraded
+    // marker — a refused guarantee, never a silent guess.
+    for now in [NOW + 30, NOW + 60, NOW + 120] {
+        let (status, doc) = get(&mut client, &graphs_path(combos[0], now));
+        assert_eq!(status, 503);
+        assert!(degraded(&doc), "refusal must carry degraded: true");
+        assert!(!str_field(&doc, "error").is_empty());
+        assert_eq!(client.retry_after(), Some(1), "503 must carry Retry-After");
+        let (status, doc) = get(&mut client, &format!("/v1/bid?duration=3600&now={now}"));
+        assert_eq!(status, 503);
+        assert!(degraded(&doc));
+    }
+    assert!(fleet.front().counters().refused.get() >= 6);
+
+    fleet.shutdown();
+}
+
+#[test]
+fn two_boots_answer_identical_bytes_under_seeded_chaos() {
+    // The determinism contract extended to the fleet: with chaos
+    // expressed as a seeded logical fault plan evaluated in virtual
+    // time, two independently booted fleets (different ephemeral ports,
+    // different thread interleavings) answer every request with
+    // identical bytes.
+    let mut cfg = FleetConfig::new(3);
+    cfg.faults = ShardFaults::sample(SEED, 3, (NOW, NOW + 240), 1, 0, 1);
+    let (fleet_a, combos) = boot(cfg.clone());
+    let (fleet_b, _) = boot(cfg.clone());
+    let mut a = loadgen::Client::new(fleet_a.addr(), Duration::from_secs(5));
+    let mut b = loadgen::Client::new(fleet_b.addr(), Duration::from_secs(5));
+
+    let mut paths = Vec::new();
+    for now in (NOW..NOW + 240).step_by(30) {
+        for &combo in &combos {
+            paths.push(graphs_path(combo, now));
+        }
+        paths.push(format!("/v1/bid?duration=3600&p=0.95&now={now}"));
+        paths.push(format!("/v1/bid?duration=7200&now={now}"));
+        paths.push(format!("/v1/health?now={now}"));
+    }
+    for path in &paths {
+        let ra = a.get(path).expect("fleet A");
+        let rb = b.get(path).expect("fleet B");
+        assert_eq!(ra, rb, "boots diverged on {path}");
+    }
+
+    fleet_a.shutdown();
+    fleet_b.shutdown();
+}
