@@ -1,10 +1,11 @@
 //! Perf-trajectory bench: `repro bench [--quick]`.
 //!
-//! Runs the serving-layer, snapshot, QBETS-kernel and fleet-proxy
-//! benches on the in-repo timing harness and writes three
-//! machine-readable trajectory files, `BENCH_serve.json`,
-//! `BENCH_qbets.json` and `BENCH_fleet.json`, into the current
-//! directory (the repo root in CI; override with `DRAFTS_BENCH_DIR`).
+//! Runs the serving-layer, snapshot, QBETS-kernel, fleet-proxy and
+//! strategy-kernel benches on the in-repo timing harness and writes
+//! four machine-readable trajectory files, `BENCH_serve.json`,
+//! `BENCH_qbets.json`, `BENCH_fleet.json` and `BENCH_strategy.json`,
+//! into the current directory (the repo root in CI; override with
+//! `DRAFTS_BENCH_DIR`).
 //! The committed copies of these files are the perf trajectory across
 //! PRs: each PR refreshes them, and git history is the time series.
 //!
@@ -28,7 +29,7 @@
 //! and profile artifacts from the same commit.
 
 use crate::common::Scale;
-use crate::{fleet, profile, serve};
+use crate::{fleet, profile, serve, strategies};
 use bench::timing::{black_box, Harness, Measurement};
 use drafts_core::snapshot::Swap;
 use loadgen::Kind;
@@ -47,6 +48,8 @@ pub struct BenchOutput {
     pub qbets_json: String,
     /// `BENCH_fleet.json` contents.
     pub fleet_json: String,
+    /// `BENCH_strategy.json` contents.
+    pub strategy_json: String,
     /// Window-bookkeeping cost as a share of `handle_bid` (percent).
     pub window_overhead_pct: f64,
     /// `svc_fetch` self time as a share of total self time (percent).
@@ -108,10 +111,12 @@ pub fn run(scale: Scale) -> BenchOutput {
     let (serve_json, window_overhead_pct, svc_fetch_self_pct) = serve_bench(scale);
     let qbets_json = qbets_bench();
     let fleet_json = fleet_bench(scale);
+    let strategy_json = strategy_bench(scale);
     BenchOutput {
         serve_json,
         qbets_json,
         fleet_json,
+        strategy_json,
         window_overhead_pct,
         svc_fetch_self_pct,
     }
@@ -300,6 +305,101 @@ fn fleet_bench(scale: Scale) -> String {
     render("fleet", &det, &wall)
 }
 
+/// The strategy-kernel trajectory: per-decision cost of the adaptive
+/// strategies' hot path (one `observe` + one `decide` on a fixed tick),
+/// anchored by a small seeded `DraftsBid` arena replay whose outcome is
+/// a pure function of `strategies::STRATEGY_SEED` — the proof that two
+/// builds decide the bench traffic identically.
+fn strategy_bench(scale: Scale) -> String {
+    use strategy::{
+        BetaBayes, DraftsBid, EmaAvailability, JobState, MarketTick, Portfolio, PriceQuantiles,
+        SpotPlan, Strategy,
+    };
+
+    let anchor = strategies::anchor();
+
+    let catalog = spotmarket::Catalog::standard();
+    let combo = spotmarket::Combo::new(
+        spotmarket::Az::parse("us-east-1b").expect("known AZ"),
+        catalog.type_id("c4.large").expect("known type"),
+    );
+    let price = spotmarket::Price::from_ticks;
+    let plan = SpotPlan {
+        combo,
+        bid: price(900),
+    };
+    let tick = MarketTick {
+        now: 2_000_000,
+        scan_interval: 60,
+        spot_available: true,
+        drafts: Some(plan),
+        fallback: Some(plan),
+        od_price: price(1_050),
+        spot_price: Some(price(310)),
+        quantiles: PriceQuantiles {
+            q50: Some(price(300)),
+            q75: Some(price(340)),
+            q90: Some(price(420)),
+            q95: Some(price(700)),
+        },
+    };
+    let job = JobState {
+        id: 7,
+        deadline: tick.now + 4_500,
+        est_total: 900,
+        est_remaining: 900,
+        running_on: None,
+        attempts: 0,
+        restarts: 0,
+    };
+
+    let mut h = Harness::new("bench:strategy");
+    let mut drafts = DraftsBid;
+    let decide_drafts = h.bench("decide_drafts", || {
+        drafts.observe(black_box(&tick));
+        black_box(drafts.decide(black_box(&tick), black_box(&job)))
+    });
+    let mut ema = EmaAvailability::new();
+    let decide_ema = h.bench("decide_ema", || {
+        ema.observe(black_box(&tick));
+        black_box(ema.decide(black_box(&tick), black_box(&job)))
+    });
+    let mut beta = BetaBayes::new();
+    let decide_beta = h.bench("decide_beta", || {
+        beta.observe(black_box(&tick));
+        black_box(beta.decide(black_box(&tick), black_box(&job)))
+    });
+    let mut portfolio = Portfolio::new();
+    let decide_portfolio = h.bench("decide_portfolio", || {
+        portfolio.observe(black_box(&tick));
+        black_box(portfolio.decide(black_box(&tick), black_box(&job)))
+    });
+
+    let det: Vec<(&str, String)> = vec![
+        ("scale", format!("\"{}\"", scale.pick("quick", "paper"))),
+        ("strategy_seed", strategies::STRATEGY_SEED.to_string()),
+        ("strategies", strategy::lineup().len().to_string()),
+        ("intensities", strategies::INTENSITIES_BP.len().to_string()),
+        ("anchor_cost_ticks", anchor.metrics.cost.ticks().to_string()),
+        (
+            "anchor_attainment_bp",
+            strategies::attainment_bp(&anchor).to_string(),
+        ),
+        ("anchor_decisions", anchor.decisions.to_string()),
+        (
+            "anchor_switches",
+            anchor.metrics.strategy_switches.to_string(),
+        ),
+    ];
+    let wall: Vec<(&str, String)> = vec![
+        ("decide_drafts_ns", ns(decide_drafts)),
+        ("decide_ema_ns", ns(decide_ema)),
+        ("decide_beta_ns", ns(decide_beta)),
+        ("decide_portfolio_ns", ns(decide_portfolio)),
+    ];
+    render("strategy", &det, &wall)
+}
+
 /// The QBETS-kernel trajectory: the paper's §3.3 claim that batch
 /// rebuilds are slow while warm state updates incrementally.
 fn qbets_bench() -> String {
@@ -366,7 +466,12 @@ mod tests {
     fn trajectory_files_have_stable_schema_and_deterministic_halves() {
         std::env::set_var("DRAFTS_BENCH_QUICK", "1");
         let out = run(Scale::Quick);
-        for json in [&out.serve_json, &out.qbets_json, &out.fleet_json] {
+        for json in [
+            &out.serve_json,
+            &out.qbets_json,
+            &out.fleet_json,
+            &out.strategy_json,
+        ] {
             assert!(json.starts_with("{\n  \"schema\": \"drafts-bench/1\""));
             assert!(json.contains("\"deterministic\": {"));
             assert!(json.contains("\"wall_clock\": {"));
@@ -385,6 +490,12 @@ mod tests {
         for key in ["ring_checksum", "proxy_graphs_ns", "proxy_bid_ns", "proxy_health_ns"] {
             assert!(out.fleet_json.contains(key), "missing {key}");
         }
+        for key in [
+            "strategy_seed", "anchor_cost_ticks", "anchor_attainment_bp",
+            "decide_drafts_ns", "decide_ema_ns", "decide_beta_ns", "decide_portfolio_ns",
+        ] {
+            assert!(out.strategy_json.contains(key), "missing {key}");
+        }
         // The deterministic half is reproducible run to run.
         let det = |s: &str| {
             s.lines()
@@ -397,6 +508,7 @@ mod tests {
         assert_eq!(det(&out.serve_json), det(&again.serve_json));
         assert_eq!(det(&out.qbets_json), det(&again.qbets_json));
         assert_eq!(det(&out.fleet_json), det(&again.fleet_json));
+        assert_eq!(det(&out.strategy_json), det(&again.strategy_json));
         assert!(summarize(&out).contains("window bookkeeping"));
         std::env::remove_var("DRAFTS_BENCH_QUICK");
     }

@@ -5,7 +5,7 @@
 //! experiment: table1 | figure1 | figure2 | figure3 | figure4
 //!           | table2 | table3 | table4 | table5 | tightness
 //!           | reflexivity | faults | serve | profile | bench
-//!           | fleet | all
+//!           | fleet | strategies | all
 //!
 //! `serve` boots the drafts-serve HTTP layer on an ephemeral loopback
 //! port and replays the seeded loadgen workload against it. `profile`
@@ -17,8 +17,11 @@
 //! `DRAFTS_BENCH_DIR`). `fleet` boots the sharded fleet behind the
 //! consistent-hash front once per chaos scenario (0/1/2 shards killed
 //! mid-run) and writes the deterministic failover/attainment artifact
-//! `fleet.csv`. None of serve/profile/bench is part of `all`: their
-//! wall-clock halves depend on the machine.
+//! `fleet.csv`. `strategies` runs the bidding-strategy arena (six
+//! strategies x three advisory-plane degradation intensities) and
+//! writes the byte-deterministic `strategies.csv`. None of
+//! serve/profile/bench is part of `all`: their wall-clock halves
+//! depend on the machine.
 //! ```
 //!
 //! Artifacts (rendered tables + CSV series) land in `results/` (override
@@ -26,8 +29,8 @@
 
 use experiments::common::{self, Scale};
 use experiments::{
-    benchrun, faults, figure1, figure4, fleet, launch, profile, reflexivity, serve, table1,
-    table2, table3, table45,
+    benchrun, faults, figure1, figure4, fleet, launch, profile, reflexivity, serve, strategies,
+    table1, table2, table3, table45,
 };
 use obs::Stopwatch;
 
@@ -60,6 +63,7 @@ fn main() {
         "profile" => run_profile(scale),
         "bench" => run_bench(scale),
         "fleet" => run_fleet(scale),
+        "strategies" => run_strategies(scale),
         "all" => {
             run_table1_figure1_table4(scale);
             run_table45(scale, 5);
@@ -75,7 +79,7 @@ fn main() {
             eprintln!(
                 "unknown experiment '{other}'; expected table1|figure1|figure2|figure3|\
                  figure4|table2|table3|table4|table5|tightness|reflexivity|faults|serve|\
-                 profile|bench|fleet|all"
+                 profile|bench|fleet|strategies|all"
             );
             std::process::exit(2);
         }
@@ -210,6 +214,7 @@ fn run_bench(scale: Scale) {
         ("BENCH_serve.json", &out.serve_json),
         ("BENCH_qbets.json", &out.qbets_json),
         ("BENCH_fleet.json", &out.fleet_json),
+        ("BENCH_strategy.json", &out.strategy_json),
     ] {
         let path = dir.join(name);
         std::fs::write(&path, json).expect("write bench trajectory");
@@ -221,6 +226,13 @@ fn run_fleet(scale: Scale) {
     let out = fleet::run(scale);
     print!("{}", fleet::summarize(&out));
     let path = common::write_artifact("fleet.csv", &fleet::deterministic_csv(&out));
+    eprintln!("wrote {}", common::display(&path));
+}
+
+fn run_strategies(scale: Scale) {
+    let out = strategies::run(scale);
+    print!("{}", strategies::summarize(&out));
+    let path = common::write_artifact("strategies.csv", &strategies::deterministic_csv(&out));
     eprintln!("wrote {}", common::display(&path));
 }
 

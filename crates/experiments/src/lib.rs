@@ -24,6 +24,7 @@
 //! | `profile` | per-stage serving-pipeline profile        | [`profile`] |
 //! | `bench`   | `BENCH_*.json` perf-trajectory points     | [`benchrun`] |
 //! | `fleet`   | sharded-fleet chaos/failover sweep        | [`fleet`] |
+//! | `strategies` | bidding-strategy arena, 3 intensities  | [`strategies`] |
 
 pub mod benchrun;
 pub mod common;
@@ -35,6 +36,7 @@ pub mod launch;
 pub mod profile;
 pub mod reflexivity;
 pub mod serve;
+pub mod strategies;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -35,6 +35,10 @@ pub struct Job {
     pub submit_offset: u64,
     /// True execution time in seconds (unknown to the provisioner).
     pub runtime: u64,
+    /// Completion deadline relative to the replay start (seconds).
+    /// Strategies use it to decide when to stop gambling on spot; the
+    /// paper's own policies ignore it.
+    pub deadline: u64,
     /// The profile the provisioner sees.
     pub profile: JobProfile,
 }

@@ -15,14 +15,21 @@
 //!   picking the `(type, AZ)` with the smallest guaranteed bid.
 //! * **DrAFTS profiles** — like 1-hr but using each job's profiled
 //!   runtime estimate as the required durability, yielding tighter bids.
+//!
+//! [`strategy_sim`] generalizes the replay: a pluggable [`strategy`]
+//! implementation owns every launch/keep/abandon decision per scan tick,
+//! with on-demand instances, checkpoint migration, deadlines, and the
+//! advisory plane degradable by feed faults and shard faults.
 
 pub mod job;
 pub mod metrics;
 pub mod policy;
 pub mod pool;
 pub mod sim;
+pub mod strategy_sim;
 pub mod workload;
 
 pub use metrics::ReplayMetrics;
 pub use policy::ProvisionerPolicy;
 pub use sim::{Replay, ReplayConfig};
+pub use strategy_sim::{StrategyOutcome, StrategyReplay, StrategyReplayConfig};

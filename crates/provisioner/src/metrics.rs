@@ -23,6 +23,11 @@ pub struct ReplayMetrics {
     pub capacity_failures: u64,
     /// Launch attempts throttled by the API.
     pub throttle_failures: u64,
+    /// Jobs that completed after their deadline (strategy replays; the
+    /// paper's own replay has no deadlines and reports 0).
+    pub deadline_misses: u64,
+    /// Checkpoint migrations from spot to on-demand (strategy replays).
+    pub strategy_switches: u64,
 }
 
 impl ReplayMetrics {
@@ -37,6 +42,8 @@ impl ReplayMetrics {
         self.requeues += other.requeues;
         self.capacity_failures += other.capacity_failures;
         self.throttle_failures += other.throttle_failures;
+        self.deadline_misses += other.deadline_misses;
+        self.strategy_switches += other.strategy_switches;
     }
 
     /// Exports the replay-chaos counters into `registry` under the names
@@ -49,6 +56,8 @@ impl ReplayMetrics {
             ("drafts_replay_requeues_total", self.requeues),
             ("drafts_replay_capacity_failures_total", self.capacity_failures),
             ("drafts_replay_throttle_failures_total", self.throttle_failures),
+            ("drafts_replay_deadline_misses_total", self.deadline_misses),
+            ("drafts_replay_strategy_switches_total", self.strategy_switches),
         ] {
             let counter = obs::Counter::new();
             counter.add(value);
@@ -71,6 +80,8 @@ impl ReplayMetrics {
             requeues: self.requeues as f64 / nf,
             capacity_failures: self.capacity_failures as f64 / nf,
             throttle_failures: self.throttle_failures as f64 / nf,
+            deadline_misses: self.deadline_misses as f64 / nf,
+            strategy_switches: self.strategy_switches as f64 / nf,
         }
     }
 }
@@ -96,6 +107,10 @@ pub struct AveragedMetrics {
     pub capacity_failures: f64,
     /// Average throttled launch attempts.
     pub throttle_failures: f64,
+    /// Average deadline misses.
+    pub deadline_misses: f64,
+    /// Average spot→on-demand switches.
+    pub strategy_switches: f64,
 }
 
 #[cfg(test)]
@@ -116,6 +131,8 @@ mod tests {
                 requeues: 2 * i,
                 capacity_failures: i,
                 throttle_failures: i,
+                deadline_misses: i % 2,
+                strategy_switches: 3 * i,
             });
         }
         let avg = acc.averaged(4);
@@ -128,6 +145,8 @@ mod tests {
         assert!((avg.requeues - 5.0).abs() < 1e-12);
         assert!((avg.capacity_failures - 2.5).abs() < 1e-12);
         assert!((avg.throttle_failures - 2.5).abs() < 1e-12);
+        assert!((avg.deadline_misses - 0.5).abs() < 1e-12);
+        assert!((avg.strategy_switches - 7.5).abs() < 1e-12);
     }
 
     #[test]
@@ -143,6 +162,8 @@ mod tests {
             requeues: 3,
             capacity_failures: 1,
             throttle_failures: 2,
+            deadline_misses: 5,
+            strategy_switches: 7,
             ..ReplayMetrics::default()
         };
         m.export_to(&registry);
@@ -153,5 +174,7 @@ mod tests {
         assert!(text.contains("drafts_replay_requeues_total 6\n"));
         assert!(text.contains("drafts_replay_capacity_failures_total 2\n"));
         assert!(text.contains("drafts_replay_throttle_failures_total 4\n"));
+        assert!(text.contains("drafts_replay_deadline_misses_total 10\n"));
+        assert!(text.contains("drafts_replay_strategy_switches_total 14\n"));
     }
 }

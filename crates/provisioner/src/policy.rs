@@ -63,6 +63,25 @@ pub fn plan(
     now: u64,
     target_p: f64,
 ) -> Option<LaunchPlan> {
+    plan_gated(policy, catalog, service, region, profile, now, target_p, &|_| true)
+}
+
+/// [`plan`] with an advisory-plane gate: DrAFTS candidates whose combo the
+/// gate rejects are skipped, exactly as if the service had no graphs for
+/// them. The strategy replay routes advisory lookups through its sharded
+/// front here — a dark shard takes its combos off the table while the
+/// `Original` arm (which never consults the advisory plane) is unaffected.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_gated(
+    policy: ProvisionerPolicy,
+    catalog: &Catalog,
+    service: &DraftsService,
+    region: Region,
+    profile: &JobProfile,
+    now: u64,
+    target_p: f64,
+    gate: &dyn Fn(Combo) -> bool,
+) -> Option<LaunchPlan> {
     let types = suitable_types(catalog, profile);
     if types.is_empty() {
         return None;
@@ -89,6 +108,9 @@ pub fn plan(
             for &ty in &types {
                 for az in catalog.azs_offering(ty, region) {
                     let combo = Combo::new(az, ty);
+                    if !gate(combo) {
+                        continue;
+                    }
                     let Some(response) = service.fetch(combo, now) else {
                         continue;
                     };
@@ -251,6 +273,36 @@ mod tests {
             p2.bid,
             p1.bid
         );
+    }
+
+    #[test]
+    fn gate_rejecting_everything_blanks_the_drafts_plan() {
+        let cat = Catalog::standard();
+        let svc = service_with_histories(20);
+        let now = 19 * spotmarket::DAY;
+        assert!(plan_gated(
+            ProvisionerPolicy::Drafts1Hr,
+            cat,
+            &svc,
+            Region::UsWest2,
+            &profile(),
+            now,
+            0.95,
+            &|_| false,
+        )
+        .is_none());
+        // The Original arm never consults the advisory plane: unaffected.
+        assert!(plan_gated(
+            ProvisionerPolicy::Original,
+            cat,
+            &svc,
+            Region::UsWest2,
+            &profile(),
+            now,
+            0.95,
+            &|_| false,
+        )
+        .is_some());
     }
 
     #[test]

@@ -10,15 +10,27 @@
 use crate::job::{Job, JobProfile};
 use spotmarket::catalog::Catalog;
 use spotmarket::lifecycle::InstanceId;
-use spotmarket::{Combo, HOUR};
+use spotmarket::{Combo, Price, HOUR};
 
 /// Release idle instances at this offset into their billed hour.
 pub const IDLE_RELEASE_OFFSET: u64 = 3300;
 
+/// How a pool member is billed (and whether the market can revoke it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryKind {
+    /// A spot instance owned by the market simulator: revocable, billed at
+    /// the market price of each hour start.
+    Spot,
+    /// An on-demand instance: never revoked, billed at the fixed hourly
+    /// price. Lives only in the pool — the spot simulator never sees it.
+    OnDemand,
+}
+
 /// A pool member.
 #[derive(Debug, Clone)]
 pub struct PoolEntry {
-    /// The simulator's instance id.
+    /// The simulator's instance id (spot), or a provisioner-assigned id
+    /// outside the simulator's range (on-demand).
     pub id: InstanceId,
     /// The market it runs in.
     pub combo: Combo,
@@ -28,6 +40,11 @@ pub struct PoolEntry {
     pub running_job: Option<u32>,
     /// When the current job will finish (meaningful when busy).
     pub busy_until: u64,
+    /// Billing class.
+    pub kind: EntryKind,
+    /// Fixed hourly price (meaningful for [`EntryKind::OnDemand`]; spot
+    /// entries are billed by the simulator and carry `Price::ZERO` here).
+    pub hourly: Price,
 }
 
 impl PoolEntry {
@@ -104,6 +121,23 @@ impl Pool {
             .min_by_key(|e| e.release_time(now))
     }
 
+    /// Like [`Pool::find_idle`], restricted to one billing class — the
+    /// strategy replay never reuses a paid spot hour for a job whose
+    /// strategy demanded on-demand, or vice versa.
+    pub fn find_idle_kind(
+        &mut self,
+        catalog: &Catalog,
+        profile: &JobProfile,
+        now: u64,
+        kind: EntryKind,
+    ) -> Option<&mut PoolEntry> {
+        let suitable: Vec<spotmarket::TypeId> = crate::job::suitable_types(catalog, profile);
+        self.entries
+            .iter_mut()
+            .filter(|e| e.kind == kind && e.is_idle() && suitable.contains(&e.combo.ty))
+            .min_by_key(|e| e.release_time(now))
+    }
+
     /// Assigns `job` to an entry (must be idle).
     ///
     /// # Panics
@@ -153,6 +187,8 @@ mod tests {
             launched_at,
             running_job: None,
             busy_until: 0,
+            kind: EntryKind::Spot,
+            hourly: Price::ZERO,
         }
     }
 
@@ -187,6 +223,26 @@ mod tests {
     }
 
     #[test]
+    fn find_idle_kind_separates_billing_classes() {
+        let cat = Catalog::standard();
+        let mut pool = Pool::new();
+        pool.add(entry(1, "c4.large", 0));
+        let mut od = entry(2, "c4.large", 0);
+        od.kind = EntryKind::OnDemand;
+        od.hourly = Price::from_ticks(1_050);
+        pool.add(od);
+        let spot = pool
+            .find_idle_kind(cat, &profile(), 100, EntryKind::Spot)
+            .unwrap();
+        assert_eq!(spot.id, InstanceId(1));
+        let od = pool
+            .find_idle_kind(cat, &profile(), 100, EntryKind::OnDemand)
+            .unwrap();
+        assert_eq!(od.id, InstanceId(2));
+        assert_eq!(od.hourly, Price::from_ticks(1_050));
+    }
+
+    #[test]
     fn busy_instances_are_not_offered() {
         let cat = Catalog::standard();
         let mut pool = Pool::new();
@@ -203,6 +259,7 @@ mod tests {
             id: 9,
             submit_offset: 0,
             runtime: 500,
+            deadline: 5_000,
             profile: profile(),
         };
         Pool::assign(&mut e, &job, 100);
@@ -220,6 +277,7 @@ mod tests {
             id: 9,
             submit_offset: 0,
             runtime: 500,
+            deadline: 5_000,
             profile: profile(),
         };
         Pool::assign(&mut e, &job, 100);

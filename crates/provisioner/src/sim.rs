@@ -215,6 +215,8 @@ impl Replay {
                             launched_at: t,
                             running_job: None,
                             busy_until: 0,
+                            kind: crate::pool::EntryKind::Spot,
+                            hourly: Price::ZERO,
                         };
                         Pool::assign(&mut entry, job, t);
                         pool.add(entry);

@@ -28,6 +28,12 @@ pub struct WorkloadConfig {
     pub runtime_ln_sd: f64,
     /// Maximum relative error of profile runtime estimates.
     pub profile_error: f64,
+    /// Deadline slack as a multiple of the profiled runtime estimate:
+    /// `deadline = submit + deadline_base + est_runtime · deadline_slack`.
+    pub deadline_slack: f64,
+    /// Fixed deadline allowance in seconds, covering queueing and launch
+    /// latency independent of job length.
+    pub deadline_base: u64,
 }
 
 impl Default for WorkloadConfig {
@@ -39,6 +45,8 @@ impl Default for WorkloadConfig {
             runtime_median: 900,
             runtime_ln_sd: 0.9,
             profile_error: 0.25,
+            deadline_slack: 3.0,
+            deadline_base: 1800,
         }
     }
 }
@@ -90,6 +98,7 @@ pub fn generate(cfg: &WorkloadConfig, factory: &StreamFactory, index: u64) -> Ve
                 id: jobs.len() as u32,
                 submit_offset: t,
                 runtime,
+                deadline: 0, // filled after offset clamping below
                 profile,
             });
         }
@@ -106,6 +115,13 @@ pub fn generate(cfg: &WorkloadConfig, factory: &StreamFactory, index: u64) -> Ve
         for j in &mut jobs {
             j.submit_offset = j.submit_offset * cfg.span / max_off;
         }
+    }
+    // Deadlines are a pure function of the final offsets and the profile
+    // estimate — no RNG draws, so the arrival/runtime streams above stay
+    // byte-identical to pre-deadline workloads.
+    for j in &mut jobs {
+        let slack = (j.profile.est_runtime as f64 * cfg.deadline_slack).round() as u64;
+        j.deadline = j.submit_offset + cfg.deadline_base + slack;
     }
     jobs
 }
@@ -169,6 +185,20 @@ mod tests {
             .filter(|w| w[0].submit_offset == w[1].submit_offset)
             .count();
         assert!(simultaneous > 100, "workflow bursts expected, got {simultaneous}");
+    }
+
+    #[test]
+    fn deadlines_follow_offset_and_estimate() {
+        let jobs = gen(7);
+        for j in &jobs {
+            assert_eq!(
+                j.deadline,
+                j.submit_offset + 1800 + 3 * j.profile.est_runtime,
+                "job {}",
+                j.id
+            );
+            assert!(j.deadline >= j.submit_offset + j.profile.est_runtime);
+        }
     }
 
     #[test]

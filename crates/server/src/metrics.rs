@@ -93,10 +93,12 @@ const POOL_METRICS: [&str; 3] = [
 
 /// Replay-chaos counters (`provisioner::metrics::ReplayMetrics` exports
 /// into these after a replay).
-const REPLAY_METRICS: [&str; 3] = [
+const REPLAY_METRICS: [&str; 5] = [
     "drafts_replay_requeues_total",
     "drafts_replay_capacity_failures_total",
     "drafts_replay_throttle_failures_total",
+    "drafts_replay_deadline_misses_total",
+    "drafts_replay_strategy_switches_total",
 ];
 
 /// Rolling-window interval: one service recompute period of virtual time,

@@ -18,6 +18,9 @@
 //!   graphs, policies, AZ selection, the cost optimizer, and the service.
 //! * [`backtesting`] (`backtest`) — the §4.1/§4.4 evaluation engine.
 //! * [`platform`] (`provisioner`) — the §4.3 workload-replay substrate.
+//! * [`strategy`] — pluggable bidding strategies (DrAFTS, adaptive
+//!   spot/on-demand switching with online availability estimation,
+//!   portfolio splits, baselines) for the strategy-driven replay.
 //! * [`rng`] (`simrng`) — deterministic random streams.
 //! * [`parallel`] — the std-only work-stealing pool the engine and the
 //!   experiment harnesses fan out on (`DRAFTS_THREADS` sizes it).
@@ -47,4 +50,5 @@ pub use parallel;
 pub use provisioner as platform;
 pub use simrng as rng;
 pub use spotmarket as market;
+pub use strategy;
 pub use tsforecast as forecast;
