@@ -20,8 +20,9 @@
 //! * `wall_clock` — median ns per operation from the calibrated
 //!   harness, machine-dependent, never byte-compared. CI gates only the
 //!   machine-portable *ratios* (`window_overhead_pct`,
-//!   `svc_fetch_self_pct`) and a wide sanity band against the committed
-//!   medians that passes machine variance but fails runaway regressions.
+//!   `svc_fetch_self_pct`, `trace_overhead_pct`) and a wide sanity band
+//!   against the committed medians that passes machine variance but
+//!   fails runaway regressions.
 //!
 //! The serving numbers come from the same `serve::boot` helper that
 //! `repro serve` and `repro profile` use — same plan, same warm
@@ -33,7 +34,7 @@ use crate::{fleet, profile, serve, strategies};
 use bench::timing::{black_box, Harness, Measurement};
 use drafts_core::snapshot::Swap;
 use loadgen::Kind;
-use obs::{Counter, Histogram, WindowSet};
+use obs::{Counter, Histogram, TraceContext, TraceLog, WindowSet};
 use server::{http, Metrics, Router};
 use std::io::BufReader;
 use std::path::PathBuf;
@@ -54,6 +55,9 @@ pub struct BenchOutput {
     pub window_overhead_pct: f64,
     /// `svc_fetch` self time as a share of total self time (percent).
     pub svc_fetch_self_pct: f64,
+    /// Per-hop trace-record cost (`trace_record`) as a share of
+    /// `handle_bid` (percent).
+    pub trace_overhead_pct: f64,
 }
 
 /// Where the trajectory files land: `DRAFTS_BENCH_DIR` or the current
@@ -106,9 +110,15 @@ fn ns(m: Measurement) -> String {
     format!("{}", m.median_ns.round() as u64)
 }
 
+/// Trace-ring capacity for the traced-bid anchor (matches the fleet
+/// experiments' order of magnitude; the ring evicts under the bench loop
+/// either way, which is the steady-state shape).
+const TRACE_RING: usize = 1024;
+
 /// Runs every bench and renders both trajectory files.
 pub fn run(scale: Scale) -> BenchOutput {
-    let (serve_json, window_overhead_pct, svc_fetch_self_pct) = serve_bench(scale);
+    let (serve_json, window_overhead_pct, svc_fetch_self_pct, trace_overhead_pct) =
+        serve_bench(scale);
     let qbets_json = qbets_bench();
     let fleet_json = fleet_bench(scale);
     let strategy_json = strategy_bench(scale);
@@ -119,13 +129,14 @@ pub fn run(scale: Scale) -> BenchOutput {
         strategy_json,
         window_overhead_pct,
         svc_fetch_self_pct,
+        trace_overhead_pct,
     }
 }
 
 /// The serving-layer trajectory: in-process route handling, the window
 /// bookkeeping each request pays, the snapshot read path, and one seeded
 /// loadgen replay against the live server.
-fn serve_bench(scale: Scale) -> (String, f64, f64) {
+fn serve_bench(scale: Scale) -> (String, f64, f64, f64) {
     let b = serve::boot(serve::plan(scale), scale);
 
     // Planned per-route request counts: pure functions of the seed, the
@@ -179,6 +190,39 @@ fn serve_bench(scale: Scale) -> (String, f64, f64) {
         black_box(router.handle(black_box(&metrics_req), &metrics))
     });
 
+    // The same bid request with the distributed-trace ring recording —
+    // the end-to-end anchor for the traced path. Context derivation and
+    // the header echo run either way; the added work is the per-hop ring
+    // record, measured directly below (two independently-benched µs
+    // medians are too noisy to gate a ~100 ns difference).
+    let handle_bid_traced = {
+        let traced_metrics = Metrics::with_tracing(0, 0, TRACE_RING, 0);
+        h.bench("handle_bid_traced", || {
+            black_box(router.handle(black_box(&bid), &traced_metrics))
+        })
+    };
+    // The per-hop record proper, on the steady-state overwrite path:
+    // the ring is pre-filled, so every iteration pays the sampling
+    // predicate, the record's allocation, the lock, and the evicted
+    // record's drop — exactly what a core-route request adds.
+    let trace_log = TraceLog::new(TRACE_RING, 0);
+    let trace_ctx = TraceContext::root(0x5eed);
+    for _ in 0..TRACE_RING {
+        trace_log.record(trace_ctx, b.plan.now, "drafts-serve", "http_bid", 200, "");
+    }
+    let trace_record = h.bench("trace_record", || {
+        trace_log.record(
+            black_box(trace_ctx),
+            black_box(b.plan.now),
+            black_box("drafts-serve"),
+            "http_bid",
+            200,
+            "",
+        );
+        black_box(trace_log.total())
+    });
+    let trace_overhead_pct = 100.0 * trace_record.median_ns / handle_bid.median_ns.max(1.0);
+
     // The window bookkeeping a steady-state request adds: one same-bucket
     // advance (the no-op fast path), one histogram record, one counter
     // increment — exactly what the router/server layer now does per
@@ -214,6 +258,7 @@ fn serve_bench(scale: Scale) -> (String, f64, f64) {
         ("combos", b.plan.combos.len().to_string()),
         ("planned_requests", planned.len().to_string()),
         ("pipeline_stages", profile::stages().len().to_string()),
+        ("trace_ring", TRACE_RING.to_string()),
     ];
     for (kind, n) in &route_counts {
         det.push((
@@ -229,6 +274,8 @@ fn serve_bench(scale: Scale) -> (String, f64, f64) {
     let wall: Vec<(&str, String)> = vec![
         ("handle_graphs_ns", ns(handle_graphs)),
         ("handle_bid_ns", ns(handle_bid)),
+        ("handle_bid_traced_ns", ns(handle_bid_traced)),
+        ("trace_record_ns", ns(trace_record)),
         ("handle_health_ns", ns(handle_health)),
         ("handle_metrics_ns", ns(handle_metrics)),
         ("window_per_request_ns", ns(window)),
@@ -239,11 +286,13 @@ fn serve_bench(scale: Scale) -> (String, f64, f64) {
         ("loadgen_throughput_rps", format!("{:.1}", report.throughput())),
         ("window_overhead_pct", format!("{window_overhead_pct:.2}")),
         ("svc_fetch_self_pct", format!("{svc_fetch_self_pct:.2}")),
+        ("trace_overhead_pct", format!("{trace_overhead_pct:.2}")),
     ];
     (
         render("serve", &det, &wall),
         window_overhead_pct,
         svc_fetch_self_pct,
+        trace_overhead_pct,
     )
 }
 
@@ -453,8 +502,9 @@ fn qbets_bench() -> String {
 pub fn summarize(out: &BenchOutput) -> String {
     format!(
         "bench: window bookkeeping {:.2}% of handle_bid, \
-         svc_fetch {:.1}% of self time; trajectory written\n",
-        out.window_overhead_pct, out.svc_fetch_self_pct,
+         svc_fetch {:.1}% of self time, trace recording {:.2}% of \
+         handle_bid; trajectory written\n",
+        out.window_overhead_pct, out.svc_fetch_self_pct, out.trace_overhead_pct,
     )
 }
 
@@ -479,8 +529,9 @@ mod tests {
         }
         for key in [
             "route_graphs", "route_bid", "route_health", "route_metrics",
-            "handle_bid_ns", "window_per_request_ns", "window_overhead_pct",
-            "svc_fetch_self_pct",
+            "handle_bid_ns", "handle_bid_traced_ns", "trace_record_ns", "window_per_request_ns",
+            "window_overhead_pct", "svc_fetch_self_pct", "trace_overhead_pct",
+            "trace_ring",
         ] {
             assert!(out.serve_json.contains(key), "missing {key}");
         }

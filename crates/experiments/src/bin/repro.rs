@@ -5,7 +5,7 @@
 //! experiment: table1 | figure1 | figure2 | figure3 | figure4
 //!           | table2 | table3 | table4 | table5 | tightness
 //!           | reflexivity | faults | serve | profile | bench
-//!           | fleet | strategies | all
+//!           | fleet | strategies | trace | all
 //!
 //! `serve` boots the drafts-serve HTTP layer on an ephemeral loopback
 //! port and replays the seeded loadgen workload against it. `profile`
@@ -19,7 +19,11 @@
 //! mid-run) and writes the deterministic failover/attainment artifact
 //! `fleet.csv`. `strategies` runs the bidding-strategy arena (six
 //! strategies x three advisory-plane degradation intensities) and
-//! writes the byte-deterministic `strategies.csv`. None of
+//! writes the byte-deterministic `strategies.csv`. `trace` replays the
+//! fleet workload with the distributed-trace rings on under a one-kill
+//! chaos plan, reconstructs every request's fleet-merged timeline via
+//! the front's `/v1/_debug/trace/{id}` route, and writes the
+//! byte-deterministic attribution artifact `traces.csv`. None of
 //! serve/profile/bench is part of `all`: their wall-clock halves
 //! depend on the machine.
 //! ```
@@ -30,7 +34,7 @@
 use experiments::common::{self, Scale};
 use experiments::{
     benchrun, faults, figure1, figure4, fleet, launch, profile, reflexivity, serve, strategies,
-    table1, table2, table3, table45,
+    table1, table2, table3, table45, traces,
 };
 use obs::Stopwatch;
 
@@ -64,6 +68,7 @@ fn main() {
         "bench" => run_bench(scale),
         "fleet" => run_fleet(scale),
         "strategies" => run_strategies(scale),
+        "trace" => run_trace(scale),
         "all" => {
             run_table1_figure1_table4(scale);
             run_table45(scale, 5);
@@ -79,7 +84,7 @@ fn main() {
             eprintln!(
                 "unknown experiment '{other}'; expected table1|figure1|figure2|figure3|\
                  figure4|table2|table3|table4|table5|tightness|reflexivity|faults|serve|\
-                 profile|bench|fleet|strategies|all"
+                 profile|bench|fleet|strategies|trace|all"
             );
             std::process::exit(2);
         }
@@ -226,6 +231,13 @@ fn run_fleet(scale: Scale) {
     let out = fleet::run(scale);
     print!("{}", fleet::summarize(&out));
     let path = common::write_artifact("fleet.csv", &fleet::deterministic_csv(&out));
+    eprintln!("wrote {}", common::display(&path));
+}
+
+fn run_trace(scale: Scale) {
+    let out = traces::run(scale);
+    print!("{}", traces::summarize(&out));
+    let path = common::write_artifact("traces.csv", &traces::deterministic_csv(&out));
     eprintln!("wrote {}", common::display(&path));
 }
 

@@ -25,6 +25,7 @@
 //! | `bench`   | `BENCH_*.json` perf-trajectory points     | [`benchrun`] |
 //! | `fleet`   | sharded-fleet chaos/failover sweep        | [`fleet`] |
 //! | `strategies` | bidding-strategy arena, 3 intensities  | [`strategies`] |
+//! | `trace`   | distributed-tracing chaos attribution     | [`traces`] |
 
 pub mod benchrun;
 pub mod common;
@@ -41,5 +42,6 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod table45;
+pub mod traces;
 
 pub use common::Scale;

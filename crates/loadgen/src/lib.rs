@@ -20,6 +20,7 @@
 //! in-flight work — the standard way to make load shedding observable.
 
 use bench::timing::LogHistogram;
+use obs::{TraceContext, TraceIdGen, TRACE_HEADER};
 use simrng::dist::{Categorical, Exponential};
 use simrng::{Rng, StreamFactory};
 use spotmarket::{Catalog, Combo};
@@ -76,6 +77,10 @@ pub struct Planned {
     pub kind: Kind,
     /// Request target, e.g. `/v1/bid?duration=3600&p=0.95`.
     pub path: String,
+    /// Seeded trace id carried as an `x-drafts-trace` root context when
+    /// nonzero — lets the run correlate each planned request with the
+    /// server-side trace timeline. Zero disables the header.
+    pub trace: u64,
 }
 
 /// Workload parameters.
@@ -149,6 +154,7 @@ pub fn build_plan(
     let mut arrivals = factory.stream_named("loadgen-arrivals");
     let mut routes = factory.stream_named("loadgen-routes");
     let mut picks = factory.stream_named("loadgen-picks");
+    let traces = TraceIdGen::new(factory.stream_named("loadgen-traces").next_u64());
 
     let mut t = 0.0f64;
     let mut per_combo_cursor = vec![0usize; cfg.combos.len()];
@@ -192,6 +198,7 @@ pub fn build_plan(
                 at: Duration::from_secs_f64(t),
                 kind,
                 path,
+                trace: traces.next_id(),
             }
         })
         .collect()
@@ -210,11 +217,30 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// One response as the client observed it.
 #[derive(Debug, Clone, Copy)]
 struct Observation {
+    index: usize,
+    trace: u64,
     kind: Kind,
     status: u16,
     body_len: u64,
     digest: u64,
     latency: Duration,
+}
+
+/// One completed request in plan order — the correlation record the
+/// tracing experiments join against server-side timelines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestSample {
+    /// Index of the request in the plan.
+    pub index: usize,
+    /// Trace id the request carried (zero when the plan disabled it).
+    pub trace: u64,
+    /// Request kind.
+    pub kind: Kind,
+    /// Final HTTP status after retries.
+    pub status: u16,
+    /// Wall-clock latency in nanoseconds (NOT deterministic — callers
+    /// writing byte-diffed artifacts must quarantine or bucket this).
+    pub latency_ns: u64,
 }
 
 /// Per-route deterministic tallies.
@@ -249,6 +275,9 @@ pub struct RunReport {
     /// clock — NOT deterministic). Merging every entry reproduces
     /// [`RunReport::latency`].
     pub route_latency: BTreeMap<&'static str, LogHistogram>,
+    /// Every completed request, sorted by plan index. Requests whose
+    /// transport failed outright (after the one reconnect) are absent.
+    pub requests: Vec<RequestSample>,
 }
 
 impl RunReport {
@@ -307,19 +336,35 @@ impl Client {
     /// torn connection (the server may close a keep-alive socket between
     /// our requests).
     pub fn get(&mut self, path: &str) -> std::io::Result<(u16, Vec<u8>)> {
-        match self.roundtrip(path) {
+        self.get_traced(path, None)
+    }
+
+    /// [`Client::get`] carrying an `x-drafts-trace` context header when
+    /// `trace` is `Some` — the server propagates it through fleet legs
+    /// and echoes it on the response.
+    pub fn get_traced(
+        &mut self,
+        path: &str,
+        trace: Option<&str>,
+    ) -> std::io::Result<(u16, Vec<u8>)> {
+        match self.roundtrip(path, trace) {
             Ok(resp) => Ok(resp),
             Err(_) => {
                 self.conn = None;
-                self.roundtrip(path)
+                self.roundtrip(path, trace)
             }
         }
     }
 
-    fn roundtrip(&mut self, path: &str) -> std::io::Result<(u16, Vec<u8>)> {
+    fn roundtrip(&mut self, path: &str, trace: Option<&str>) -> std::io::Result<(u16, Vec<u8>)> {
         self.retry_after = None;
         let reader = self.connect()?;
-        let req = format!("GET {path} HTTP/1.1\r\nHost: drafts\r\n\r\n");
+        let req = match trace {
+            Some(ctx) => format!(
+                "GET {path} HTTP/1.1\r\nHost: drafts\r\n{TRACE_HEADER}: {ctx}\r\n\r\n"
+            ),
+            None => format!("GET {path} HTTP/1.1\r\nHost: drafts\r\n\r\n"),
+        };
         reader.get_mut().write_all(req.as_bytes())?;
 
         let mut status_line = String::new();
@@ -443,20 +488,23 @@ pub fn run_with(
         for c in 0..clients {
             let observations = &observations;
             let retries_503 = &retries_503;
-            let slice: Vec<&Planned> = plan.iter().skip(c).step_by(clients).collect();
+            let slice: Vec<(usize, &Planned)> =
+                plan.iter().enumerate().skip(c).step_by(clients).collect();
             scope.spawn(move || {
                 let mut client = Client::new(addr, timeout);
                 let mut local = Vec::with_capacity(slice.len());
                 let mut local_retries = 0u64;
-                for planned in slice {
+                for (index, planned) in slice {
                     // Open loop: wait out the schedule, not the server.
                     if let Some(wait) = planned.at.checked_sub(started.elapsed()) {
                         std::thread::sleep(wait);
                     }
+                    let header =
+                        (planned.trace != 0).then(|| TraceContext::root(planned.trace).encode());
                     let issued = Stopwatch::start();
                     let mut attempt: u32 = 0;
                     let outcome = loop {
-                        match client.get(&planned.path) {
+                        match client.get_traced(&planned.path, header.as_deref()) {
                             Err(_) => break None,
                             Ok((503, _)) if attempt < retry.max_retries => {
                                 let hint = client.retry_after().unwrap_or(1);
@@ -477,6 +525,8 @@ pub fn run_with(
                     seed.extend_from_slice(&status.to_be_bytes());
                     seed.extend_from_slice(&body);
                     local.push(Observation {
+                        index,
+                        trace: planned.trace,
                         kind: planned.kind,
                         status,
                         body_len: body.len() as u64,
@@ -502,7 +552,15 @@ pub fn run_with(
     }
     let mut latency = LogHistogram::new();
     let mut non_ok = 0u64;
+    let mut requests = Vec::new();
     for obs in observations.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        requests.push(RequestSample {
+            index: obs.index,
+            trace: obs.trace,
+            kind: obs.kind,
+            status: obs.status,
+            latency_ns: obs.latency.as_nanos() as u64,
+        });
         let tally = routes.entry(obs.kind.label()).or_default();
         tally.requests += 1;
         if obs.kind.deterministic_body() {
@@ -520,6 +578,7 @@ pub fn run_with(
             .or_default()
             .record(obs.latency);
     }
+    requests.sort_by_key(|s| s.index);
     RunReport {
         routes,
         non_ok,
@@ -527,6 +586,7 @@ pub fn run_with(
         elapsed,
         latency,
         route_latency,
+        requests,
     }
 }
 
@@ -603,6 +663,20 @@ mod tests {
     }
 
     #[test]
+    fn plan_trace_ids_are_seeded_nonzero_and_unique() {
+        let catalog = Catalog::standard();
+        let plan = build_plan(&config(), &StreamFactory::new(7), catalog);
+        let ids: std::collections::BTreeSet<u64> = plan.iter().map(|p| p.trace).collect();
+        assert!(!ids.contains(&0), "zero would disable the trace header");
+        assert_eq!(ids.len(), plan.len(), "trace ids collide");
+        let again = build_plan(&config(), &StreamFactory::new(7), catalog);
+        assert!(
+            plan.iter().zip(&again).all(|(a, b)| a.trace == b.trace),
+            "trace ids are not a pure function of the seed"
+        );
+    }
+
+    #[test]
     fn fnv_is_stable() {
         // Pinned test vectors (FNV-1a 64).
         assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
@@ -664,6 +738,7 @@ mod tests {
             at: Duration::ZERO,
             kind: Kind::Health,
             path: "/v1/health".to_string(),
+            trace: 0,
         }];
         let report = run_with(
             addr,
@@ -676,6 +751,9 @@ mod tests {
         assert_eq!(report.retries_503, 1, "the shed response was retried");
         assert_eq!(report.non_ok, 0, "the retry's 200 is the recorded answer");
         assert_eq!(report.routes["health"].ok, 1);
+        assert_eq!(report.requests.len(), 1, "one per-request sample");
+        assert_eq!(report.requests[0].index, 0);
+        assert_eq!(report.requests[0].status, 200);
 
         // With retries disabled the shed is final — the old behavior.
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();

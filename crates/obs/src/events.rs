@@ -206,6 +206,42 @@ mod tests {
     }
 
     #[test]
+    fn wraparound_boundary_keeps_counters_consistent_with_eviction() {
+        // Exactly at capacity: nothing evicted yet, the ring holds every
+        // emit and the counters agree with the retained set.
+        let registry = Registry::new();
+        let log = EventLog::new(4);
+        log.register_metrics(&registry);
+        emit_n(&log, 4);
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.emitted(Level::Info), 4);
+        assert_eq!(
+            log.snapshot().iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+        assert!(registry
+            .render_text()
+            .contains("drafts_events_total{level=\"info\"} 4"));
+
+        // Capacity + 1: the first wraparound write. Exactly one event
+        // (seq 1) is gone, the retained window slides by one, and the
+        // per-level counter keeps counting the evicted emit.
+        log.emit(99, Level::Warn, "overflow", vec![]);
+        assert_eq!(log.len(), 4, "ring stays at capacity");
+        let seqs: Vec<u64> = log.snapshot().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4, 5], "oldest (seq 1) evicted");
+        assert_eq!(log.emitted(Level::Info), 4, "evicted emit still counted");
+        assert_eq!(log.emitted(Level::Warn), 1);
+        let total = log.emitted(Level::Info) + log.emitted(Level::Warn)
+            + log.emitted(Level::Error);
+        let evicted = total - log.len() as u64;
+        assert_eq!(evicted, 1, "counters = retained + evicted");
+        let text = registry.render_text();
+        assert!(text.contains("drafts_events_total{level=\"info\"} 4"));
+        assert!(text.contains("drafts_events_total{level=\"warn\"} 1"));
+    }
+
+    #[test]
     fn metrics_render_per_level_totals() {
         let registry = Registry::new();
         let log = EventLog::new(8);

@@ -26,6 +26,8 @@ pub struct Event {
     pub start_ns: u64,
     /// Wall-clock duration in nanoseconds.
     pub dur_ns: u64,
+    /// The ambient distributed-trace id at close time (0 = untraced).
+    pub trace_id: u64,
 }
 
 #[derive(Debug)]
@@ -74,7 +76,7 @@ impl Journal {
     }
 
     /// Appends a closed span, evicting the oldest event at capacity.
-    pub fn push(&self, stage: &'static str, depth: u16, start_ns: u64, dur_ns: u64) {
+    pub fn push(&self, stage: &'static str, depth: u16, start_ns: u64, dur_ns: u64, trace_id: u64) {
         let mut ring = lock(&self.ring);
         ring.seq += 1;
         let event = Event {
@@ -83,6 +85,7 @@ impl Journal {
             depth,
             start_ns,
             dur_ns,
+            trace_id,
         };
         if ring.buf.len() < ring.cap {
             ring.buf.push(event);
@@ -112,7 +115,7 @@ mod tests {
         let j = Journal::new(4);
         let base_ptr = lock(&j.ring).buf.as_ptr();
         for i in 0..11u64 {
-            j.push("s", 0, i, 1);
+            j.push("s", 0, i, 1, 0);
         }
         let snap = j.snapshot();
         assert_eq!(snap.len(), 4);
@@ -129,20 +132,22 @@ mod tests {
     #[test]
     fn below_capacity_keeps_everything_in_order() {
         let j = Journal::new(8);
-        j.push("a", 0, 0, 5);
-        j.push("b", 1, 2, 3);
+        j.push("a", 0, 0, 5, 0);
+        j.push("b", 1, 2, 3, 7);
         let snap = j.snapshot();
         assert_eq!(snap.len(), 2);
         assert_eq!(snap[0].stage, "a");
         assert_eq!(snap[1].stage, "b");
         assert_eq!(snap[1].seq, 2);
+        assert_eq!(snap[0].trace_id, 0, "untraced spans journal id 0");
+        assert_eq!(snap[1].trace_id, 7, "trace id rides along");
     }
 
     #[test]
     fn zero_capacity_is_clamped_to_one() {
         let j = Journal::new(0);
-        j.push("a", 0, 0, 1);
-        j.push("b", 0, 1, 1);
+        j.push("a", 0, 0, 1, 0);
+        j.push("b", 0, 1, 1, 0);
         let snap = j.snapshot();
         assert_eq!(snap.len(), 1);
         assert_eq!(snap[0].stage, "b");

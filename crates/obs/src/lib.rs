@@ -30,6 +30,12 @@
 //!   event ring stamped with **virtual** time; the sanctioned channel
 //!   for "something notable happened" (CI lints away ad-hoc
 //!   `eprintln!` in server/service code).
+//! * **Traces** ([`TraceContext`], [`TraceLog`]) — seeded, fully
+//!   deterministic distributed-trace identity propagated across
+//!   processes as the `x-drafts-trace` header, with a bounded per-hop
+//!   observation ring keyed by virtual time. [`TraceIdGen`] is the only
+//!   sanctioned id mint (CI lints away wall-clock or address-based
+//!   ids).
 //!
 //! [`LogHistogram`] lives here (promoted from `bench::timing`, which
 //! re-exports it) so every crate shares one histogram implementation, and
@@ -43,6 +49,7 @@ pub mod journal;
 pub mod registry;
 pub mod slo;
 pub mod span;
+pub mod trace;
 pub mod window;
 
 pub use clock::Stopwatch;
@@ -52,4 +59,8 @@ pub use journal::{Event, Journal};
 pub use registry::{Counter, Gauge, Histogram, Registry};
 pub use slo::{InstantCounts, Objective, SloMonitor, SloState, SloStatus, Source};
 pub use span::{ambient, span, Exemplar, InstallGuard, Span, StageStats, Tracer};
+pub use trace::{
+    current_trace_id, SlowestTraceCell, TraceContext, TraceIdGen, TraceLog, TraceRecord,
+    TraceScope, TRACE_HEADER,
+};
 pub use window::WindowSet;

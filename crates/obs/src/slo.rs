@@ -183,6 +183,27 @@ impl SloMonitor {
         instants: &[(&'static str, InstantCounts)],
         events: Option<&EventLog>,
     ) -> Vec<SloStatus> {
+        self.evaluate_with_exemplar(now, windows, instants, events, 0)
+    }
+
+    /// [`SloMonitor::evaluate`] with a trace exemplar: when a
+    /// [`Source::LatencyUnder`] objective transitions to Breach, the
+    /// emitted event carries `slowest_trace` (the trace id of the
+    /// slowest contributing request) as a `trace` field, so a breach
+    /// links straight to a `/v1/_debug/trace/{id}` timeline.
+    ///
+    /// Only latency objectives get the exemplar: the slowest-request
+    /// choice is wall-clock, and the other sources breach (and emit)
+    /// deterministically — attaching wall-clock data there would break
+    /// the event ring's two-boot byte equality.
+    pub fn evaluate_with_exemplar(
+        &self,
+        now: u64,
+        windows: &WindowSet,
+        instants: &[(&'static str, InstantCounts)],
+        events: Option<&EventLog>,
+        slowest_trace: u64,
+    ) -> Vec<SloStatus> {
         let mut inner = lock(&self.inner);
         let MonitorInner { objectives, states } = &mut *inner;
         objectives
@@ -266,18 +287,20 @@ impl SloMonitor {
                             SloState::Warn => Level::Warn,
                             SloState::Ok => Level::Info,
                         };
-                        log.emit(
-                            now,
-                            level,
-                            "slo_transition",
-                            vec![
-                                ("slo", o.name.to_string()),
-                                ("from", prev.label().to_string()),
-                                ("to", status.state.label().to_string()),
-                                ("fast_burn_bp", status.fast_burn_bp.to_string()),
-                                ("slow_burn_bp", status.slow_burn_bp.to_string()),
-                            ],
-                        );
+                        let mut fields = vec![
+                            ("slo", o.name.to_string()),
+                            ("from", prev.label().to_string()),
+                            ("to", status.state.label().to_string()),
+                            ("fast_burn_bp", status.fast_burn_bp.to_string()),
+                            ("slow_burn_bp", status.slow_burn_bp.to_string()),
+                        ];
+                        if status.state == SloState::Breach
+                            && slowest_trace != 0
+                            && matches!(o.source, Source::LatencyUnder { .. })
+                        {
+                            fields.push(("trace", format!("{slowest_trace:016x}")));
+                        }
+                        log.emit(now, level, "slo_transition", fields);
                     }
                     *prev = status.state;
                 }
@@ -421,6 +444,57 @@ mod tests {
             .fields
             .contains(&("from", "breach".to_string())));
         assert!(snap[1].fields.contains(&("to", "ok".to_string())));
+    }
+
+    #[test]
+    fn breach_exemplar_tags_latency_objectives_only() {
+        use crate::registry::Histogram;
+        let ws = WindowSet::new(INTERVAL, 16);
+        let h = Histogram::new();
+        ws.register_histogram("lat", &h);
+        ws.advance(0);
+        for _ in 0..10 {
+            h.record_ns(50_000_000); // all over threshold: breach
+        }
+        let log = EventLog::new(16);
+        let monitor = SloMonitor::new(vec![
+            objective(Source::LatencyUnder {
+                hist: "lat",
+                threshold_ns: 1_000_000,
+            }),
+            Objective {
+                name: "instant",
+                ..objective(Source::Instant)
+            },
+        ]);
+        let bad = InstantCounts { good: 0, warn: 0, bad: 4 };
+        monitor.evaluate_with_exemplar(
+            100,
+            &ws,
+            &[("instant", bad)],
+            Some(&log),
+            0xABCD,
+        );
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 2, "both objectives breached: {snap:?}");
+        let latency = snap.iter().find(|e| {
+            e.fields.contains(&("slo", "test".to_string()))
+        });
+        assert!(latency
+            .expect("latency transition")
+            .fields
+            .contains(&("trace", "000000000000abcd".to_string())));
+        let instant = snap.iter().find(|e| {
+            e.fields.contains(&("slo", "instant".to_string()))
+        });
+        assert!(
+            !instant
+                .expect("instant transition")
+                .fields
+                .iter()
+                .any(|(k, _)| *k == "trace"),
+            "deterministic objectives must not carry wall-clock exemplars"
+        );
     }
 
     #[test]

@@ -361,7 +361,15 @@ impl Drop for Span {
         }
         if slow.journal {
             if let Some(journal) = slow.tracer.journal() {
-                journal.push(slow.stage, slow.depth, slow.start_ns, slow.total_ns);
+                // Stamp the ambient distributed-trace id so journal
+                // dumps carry cross-process causality.
+                journal.push(
+                    slow.stage,
+                    slow.depth,
+                    slow.start_ns,
+                    slow.total_ns,
+                    crate::trace::current_trace_id(),
+                );
             }
         }
     }

@@ -40,13 +40,13 @@
 
 use crate::http::{Request, Response};
 use crate::json::Json;
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, Route};
 use crate::ring::Ring;
 use crate::router::{parse_graphs_path, Router};
 use crate::server::{DrainReport, Handler, Server, ServerConfig};
-use crate::wire::{BidQuoteWire, HealthCountsWire};
+use crate::wire::{trace_timeline_json, BidQuoteWire, HealthCountsWire, TraceEntry};
 use drafts_core::DraftsService;
-use obs::{Counter, Registry};
+use obs::{Counter, Registry, TraceContext};
 use parallel::lock_clean;
 use spotmarket::faults::{ShardFaultKind, ShardFaults};
 use spotmarket::{Az, Catalog, Combo};
@@ -78,6 +78,10 @@ pub struct FleetConfig {
     pub shard_server: ServerConfig,
     /// Transport config for the front server.
     pub front_server: ServerConfig,
+    /// Enables the shard routers' debug routes (the front's merged
+    /// `/v1/_debug/trace/{id}` timeline needs each shard's own timeline
+    /// route answering).
+    pub debug_routes: bool,
     /// Seeded chaos plan evaluated at the routing layer in virtual time.
     pub faults: ShardFaults,
 }
@@ -96,6 +100,7 @@ impl FleetConfig {
             proxy_timeout: Duration::from_secs(5),
             shard_server: ServerConfig::default(),
             front_server: ServerConfig::default(),
+            debug_routes: false,
             faults: ShardFaults::none(shards),
         }
     }
@@ -210,14 +215,16 @@ impl ProxyConn {
 
     /// One GET round-trip; retries once on a torn pooled connection (the
     /// shard may have closed an idle keep-alive between requests).
-    fn get(&mut self, target: &str) -> io::Result<(u16, Vec<u8>)> {
+    /// `trace` is an encoded [`TraceContext`] to propagate as the
+    /// `x-drafts-trace` request header.
+    fn get(&mut self, target: &str, trace: Option<&str>) -> io::Result<(u16, Vec<u8>)> {
         let pooled = self.conn.is_some();
-        match self.roundtrip(target) {
+        match self.roundtrip(target, trace) {
             Ok(out) => Ok(out),
             Err(err) => {
                 self.conn = None;
                 if pooled {
-                    self.roundtrip(target).inspect_err(|_| {
+                    self.roundtrip(target, trace).inspect_err(|_| {
                         self.conn = None;
                     })
                 } else {
@@ -227,12 +234,18 @@ impl ProxyConn {
         }
     }
 
-    fn roundtrip(&mut self, target: &str) -> io::Result<(u16, Vec<u8>)> {
+    fn roundtrip(&mut self, target: &str, trace: Option<&str>) -> io::Result<(u16, Vec<u8>)> {
         if self.conn.is_none() {
             self.conn = Some(self.connect()?);
         }
         let reader = self.conn.as_mut().expect("connection just established");
-        let request = format!("GET {target} HTTP/1.1\r\nHost: shard\r\n\r\n");
+        let request = match trace {
+            Some(enc) => format!(
+                "GET {target} HTTP/1.1\r\nHost: shard\r\n{}: {enc}\r\n\r\n",
+                obs::TRACE_HEADER
+            ),
+            None => format!("GET {target} HTTP/1.1\r\nHost: shard\r\n\r\n"),
+        };
         reader.get_mut().write_all(request.as_bytes())?;
 
         let mut status_line = String::new();
@@ -500,17 +513,48 @@ impl FrontRouter {
         self.shard_state(shard, now) != ShardState::Down
     }
 
-    /// One proxied GET to a shard, through its connection pool.
+    /// One proxied GET to a shard, through its connection pool (no trace
+    /// propagation — probes and rollup reads are infrastructure, not
+    /// request hops).
     fn proxy_raw(&self, shard: usize, target: &str) -> io::Result<(u16, Vec<u8>)> {
+        self.proxy_traced(shard, target, None)
+    }
+
+    /// One proxied GET carrying a trace context as the request header —
+    /// the propagation hop that stitches the front's span tree into the
+    /// shard's.
+    fn proxy_traced(
+        &self,
+        shard: usize,
+        target: &str,
+        ctx: Option<TraceContext>,
+    ) -> io::Result<(u16, Vec<u8>)> {
         let handle = &self.shards[shard];
         let mut conn = lock_clean(&handle.pool)
             .pop()
             .unwrap_or_else(|| ProxyConn::new(handle.addr, self.cfg.proxy_timeout));
-        let result = conn.get(target);
+        let enc = ctx.map(|c| c.encode());
+        let result = conn.get(target, enc.as_deref());
         if result.is_ok() && !handle.pool_closed.load(Ordering::Acquire) {
             lock_clean(&handle.pool).push(conn);
         }
         result
+    }
+
+    /// Appends one front-side observation to the front's trace ring
+    /// (no-op when tracing is disabled).
+    fn trace_record(
+        &self,
+        metrics: &Metrics,
+        ctx: TraceContext,
+        now: u64,
+        stage: &'static str,
+        status: u16,
+        detail: String,
+    ) {
+        if let Some(log) = metrics.trace_log() {
+            log.record(ctx, now, "fleet-front", stage, status, detail);
+        }
     }
 
     /// Decorates a proxied answer with routing provenance and enforces
@@ -585,7 +629,13 @@ impl FrontRouter {
         }
     }
 
-    fn graphs(&self, req: &Request, now: u64) -> Response {
+    fn graphs(
+        &self,
+        req: &Request,
+        now: u64,
+        ctx: TraceContext,
+        metrics: &Metrics,
+    ) -> Response {
         let combo = match parse_graphs_path(self.catalog, &req.path) {
             Ok(combo) => combo,
             Err(resp) => return resp,
@@ -593,13 +643,33 @@ impl FrontRouter {
         let owners = self.ring.owners(combo.key());
         let primary = owners[0];
         let target = target_of(req);
-        for shard in owners {
+        // Leg numbering walks the ring-owner order, skips included, so a
+        // timeline names exactly which failover leg served (leg 0 is
+        // always the primary).
+        for (leg, shard) in owners.into_iter().enumerate() {
+            let leg_ctx = ctx.child(leg as u64);
             if !self.routable(shard, now) {
+                self.trace_record(
+                    metrics,
+                    leg_ctx,
+                    now,
+                    "proxy_skip",
+                    503,
+                    format!("shard-{shard} leg={leg}"),
+                );
                 continue;
             }
-            match self.proxy_raw(shard, &target) {
+            match self.proxy_traced(shard, &target, Some(leg_ctx)) {
                 Ok((status, body)) => {
                     let off_owner = shard != primary;
+                    self.trace_record(
+                        metrics,
+                        leg_ctx,
+                        now,
+                        "proxy_graphs",
+                        status,
+                        format!("shard-{shard} leg={leg} failover={off_owner}"),
+                    );
                     let degraded_shard =
                         self.shard_state(shard, now) == ShardState::Degraded;
                     return self.decorate(
@@ -612,13 +682,27 @@ impl FrontRouter {
                 }
                 Err(_) => {
                     self.counters.proxy_errors.inc();
+                    self.trace_record(
+                        metrics,
+                        leg_ctx,
+                        now,
+                        "proxy_graphs",
+                        502,
+                        format!("shard-{shard} leg={leg} error=proxy"),
+                    );
                 }
             }
         }
         self.refuse("no owner routable for this market")
     }
 
-    fn bid(&self, req: &Request, now: u64, metrics: &Metrics) -> Response {
+    fn bid(
+        &self,
+        req: &Request,
+        now: u64,
+        ctx: TraceContext,
+        metrics: &Metrics,
+    ) -> Response {
         let Some(duration) = req.query_param("duration") else {
             return Response::error(400, "duration query parameter is required");
         };
@@ -640,15 +724,44 @@ impl FrontRouter {
         let mut best: Option<BidCandidate> = None;
         let mut fallback: Option<(u16, Vec<u8>, usize)> = None;
         let mut any_routable = false;
+        // Scatter legs are numbered by shard index, so a timeline names
+        // which shard's answer each leg is.
         for shard in 0..self.cfg.shards {
+            let leg_ctx = ctx.child(shard as u64);
             if !self.routable(shard, now) {
+                self.trace_record(
+                    metrics,
+                    leg_ctx,
+                    now,
+                    "proxy_skip",
+                    503,
+                    format!("shard-{shard} leg={shard}"),
+                );
                 continue;
             }
             any_routable = true;
-            let (status, body) = match self.proxy_raw(shard, &target) {
-                Ok(out) => out,
+            let (status, body) = match self.proxy_traced(shard, &target, Some(leg_ctx)) {
+                Ok(out) => {
+                    self.trace_record(
+                        metrics,
+                        leg_ctx,
+                        now,
+                        "proxy_bid",
+                        out.0,
+                        format!("shard-{shard} leg={shard}"),
+                    );
+                    out
+                }
                 Err(_) => {
                     self.counters.proxy_errors.inc();
+                    self.trace_record(
+                        metrics,
+                        leg_ctx,
+                        now,
+                        "proxy_bid",
+                        502,
+                        format!("shard-{shard} leg={shard} error=proxy"),
+                    );
                     continue;
                 }
             };
@@ -726,7 +839,7 @@ impl FrontRouter {
         }
     }
 
-    fn health(&self, now: u64) -> Response {
+    fn health(&self, now: u64, ctx: TraceContext, metrics: &Metrics) -> Response {
         // Collect each routable shard's own rollup once.
         let mut docs: Vec<Option<Json>> = Vec::with_capacity(self.cfg.shards);
         let mut shard_rows = Vec::with_capacity(self.cfg.shards);
@@ -742,12 +855,41 @@ impl FrontRouter {
                 self.shard_state(shard, now)
             };
             let doc = if matches!(state, ShardState::Up | ShardState::Degraded) {
-                match self.proxy_raw(shard, &format!("/v1/health?now={now}")) {
-                    Ok((200, body)) => std::str::from_utf8(&body)
-                        .ok()
-                        .and_then(|s| Json::parse(s).ok()),
-                    _ => {
+                let leg_ctx = ctx.child(shard as u64);
+                let out = self.proxy_traced(
+                    shard,
+                    &format!("/v1/health?now={now}"),
+                    Some(leg_ctx),
+                );
+                match out {
+                    Ok((status, body)) => {
+                        self.trace_record(
+                            metrics,
+                            leg_ctx,
+                            now,
+                            "proxy_health",
+                            status,
+                            format!("shard-{shard} leg={shard}"),
+                        );
+                        if status == 200 {
+                            std::str::from_utf8(&body)
+                                .ok()
+                                .and_then(|s| Json::parse(s).ok())
+                        } else {
+                            self.counters.proxy_errors.inc();
+                            None
+                        }
+                    }
+                    Err(_) => {
                         self.counters.proxy_errors.inc();
+                        self.trace_record(
+                            metrics,
+                            leg_ctx,
+                            now,
+                            "proxy_health",
+                            502,
+                            format!("shard-{shard} leg={shard} error=proxy"),
+                        );
                         None
                     }
                 }
@@ -860,6 +1002,43 @@ fn combo_state(doc: &Json, catalog: &Catalog, combo: Combo) -> Option<String> {
         .map(str::to_string)
 }
 
+/// Rewrites a `/v1/metrics` exposition so every sample carries a leading
+/// `instance` label: `name{labels} v` → `name{instance="i",labels} v`,
+/// `name v` → `name{instance="i"} v`. Lines that don't look like samples
+/// pass through untouched.
+pub(crate) fn label_instance(exposition: &str, instance: &str) -> String {
+    let mut out = String::with_capacity(exposition.len() + exposition.len() / 2);
+    for line in exposition.lines() {
+        let sample = (!line.is_empty() && !line.starts_with('#'))
+            .then(|| line.rsplit_once(' '))
+            .flatten();
+        match sample {
+            Some((metric, value)) => {
+                match metric.split_once('{') {
+                    Some((name, rest)) => {
+                        out.push_str(name);
+                        out.push_str("{instance=\"");
+                        out.push_str(instance);
+                        out.push_str("\",");
+                        out.push_str(rest);
+                    }
+                    None => {
+                        out.push_str(metric);
+                        out.push_str("{instance=\"");
+                        out.push_str(instance);
+                        out.push_str("\"}");
+                    }
+                }
+                out.push(' ');
+                out.push_str(value);
+            }
+            None => out.push_str(line),
+        }
+        out.push('\n');
+    }
+    out
+}
+
 /// Rebuilds the original request target (path + query) for proxying.
 fn target_of(req: &Request) -> String {
     if req.query.is_empty() {
@@ -879,11 +1058,138 @@ fn target_of(req: &Request) -> String {
     format!("{}?{}", req.path, query.join("&"))
 }
 
-impl Handler for FrontRouter {
-    fn handle(&self, req: &Request, metrics: &Metrics) -> Response {
-        let route = Router::route_of(&req.path);
-        metrics.count_request(route);
-        let _span = obs::span(route.stage());
+impl FrontRouter {
+    /// `/v1/fleet/metrics` — the whole fleet's expositions in one page:
+    /// a liveness gauge plus the instance's own `/v1/metrics` text, every
+    /// line rewritten with a leading `instance` label; the front first,
+    /// then shards in index order. Unreachable shards contribute only
+    /// `drafts_fleet_instance_up ... 0`. Deterministic for a sequential
+    /// drive: reachability is the (seeded) fault plan plus memoized probe
+    /// grid, and each exposition is deterministic on its own.
+    fn fleet_metrics(&self, now: u64, metrics: &Metrics) -> Response {
+        let mut out = String::new();
+        out.push_str("drafts_fleet_instance_up{instance=\"front\"} 1\n");
+        out.push_str(&label_instance(&metrics.render_text(), "front"));
+        for shard in 0..self.cfg.shards {
+            let instance = self.shards[shard].instance.clone();
+            let text = if self.routable(shard, now) {
+                match self.proxy_raw(shard, "/v1/metrics") {
+                    Ok((200, body)) => String::from_utf8(body).ok(),
+                    _ => {
+                        self.counters.proxy_errors.inc();
+                        None
+                    }
+                }
+            } else {
+                None
+            };
+            match text {
+                Some(text) => {
+                    out.push_str(&format!(
+                        "drafts_fleet_instance_up{{instance=\"{instance}\"}} 1\n"
+                    ));
+                    out.push_str(&label_instance(&text, &instance));
+                }
+                None => out.push_str(&format!(
+                    "drafts_fleet_instance_up{{instance=\"{instance}\"}} 0\n"
+                )),
+            }
+        }
+        Response::text(200, out)
+    }
+
+    /// `/v1/fleet/slo` — every instance's SLO report in one document:
+    /// `{"now",
+    /// "instances":[{"instance","slo":<per-instance /v1/slo doc>},...]}`,
+    /// front first, `null` for unreachable shards. The front's own
+    /// objectives evaluate over its windowed metrics only (it owns no
+    /// feeds, so the instant freshness objective reads an empty rollup).
+    fn fleet_slo(&self, now: u64, metrics: &Metrics) -> Response {
+        let statuses =
+            metrics.slo().evaluate(now, metrics.windows(), &[], metrics.events());
+        let mut instances = vec![Json::obj(vec![
+            ("instance", Json::str("front")),
+            ("slo", crate::wire::slo_json(now, &statuses)),
+        ])];
+        for shard in 0..self.cfg.shards {
+            let doc = if self.routable(shard, now) {
+                match self.proxy_raw(shard, &format!("/v1/slo?now={now}")) {
+                    Ok((200, body)) => std::str::from_utf8(&body)
+                        .ok()
+                        .and_then(|s| Json::parse(s).ok()),
+                    _ => {
+                        self.counters.proxy_errors.inc();
+                        None
+                    }
+                }
+            } else {
+                None
+            };
+            instances.push(Json::obj(vec![
+                ("instance", Json::Str(self.shards[shard].instance.clone())),
+                ("slo", doc.unwrap_or(Json::Null)),
+            ]));
+        }
+        Response::json(
+            200,
+            Json::obj(vec![
+                ("now", Json::num_u64(now)),
+                ("instances", Json::Arr(instances)),
+            ])
+            .render(),
+        )
+    }
+
+    /// Front `/v1/_debug/trace/{id}` — the fleet-merged timeline: the
+    /// front's own observations of the trace
+    /// plus every reachable shard's, rendered through the same hop-major
+    /// sort the shards use (so the merge is independent of shard query
+    /// order). 404 when tracing is off or nothing was retained.
+    fn timeline(&self, hex: &str, now: u64, metrics: &Metrics) -> Response {
+        let Some(log) = metrics.trace_log() else {
+            return Response::error(404, "trace log disabled");
+        };
+        let Ok(trace_id) = u64::from_str_radix(hex, 16) else {
+            return Response::error(400, "trace id must be hex");
+        };
+        let mut entries: Vec<TraceEntry> =
+            log.for_trace(trace_id).iter().map(TraceEntry::of).collect();
+        for shard in 0..self.cfg.shards {
+            if !self.routable(shard, now) {
+                continue;
+            }
+            // A shard 404s when it retains nothing for the id — that's
+            // an empty contribution here, not an error.
+            let Ok((200, body)) =
+                self.proxy_raw(shard, &format!("/v1/_debug/trace/{hex}"))
+            else {
+                continue;
+            };
+            let Some(doc) = std::str::from_utf8(&body)
+                .ok()
+                .and_then(|s| Json::parse(s).ok())
+            else {
+                continue;
+            };
+            if let Some(records) = doc.get("records").and_then(|r| r.as_arr()) {
+                entries.extend(records.iter().filter_map(TraceEntry::from_json));
+            }
+        }
+        if entries.is_empty() {
+            return Response::error(404, "no records for this trace");
+        }
+        Response::json(200, trace_timeline_json(trace_id, &entries).render())
+    }
+
+    /// The route switch proper (everything `handle` does minus the trace
+    /// plumbing).
+    fn dispatch(
+        &self,
+        route: Route,
+        req: &Request,
+        metrics: &Metrics,
+        ctx: TraceContext,
+    ) -> Response {
         if req.method != "GET" {
             return Response::error(405, "only GET is supported");
         }
@@ -893,12 +1199,45 @@ impl Handler for FrontRouter {
         };
         metrics.windows().advance(now);
         match route {
-            crate::metrics::Route::Graphs => self.graphs(req, now),
-            crate::metrics::Route::Bid => self.bid(req, now, metrics),
-            crate::metrics::Route::Health => self.health(now),
-            crate::metrics::Route::Metrics => Response::text(200, metrics.render_text()),
-            crate::metrics::Route::Other => Response::error(404, "no such route"),
+            Route::Graphs => self.graphs(req, now, ctx, metrics),
+            Route::Bid => self.bid(req, now, ctx, metrics),
+            Route::Health => self.health(now, ctx, metrics),
+            Route::Metrics => Response::text(200, metrics.render_text()),
+            Route::Other => {
+                if req.path == "/v1/fleet/metrics" {
+                    return self.fleet_metrics(now, metrics);
+                }
+                if req.path == "/v1/fleet/slo" {
+                    return self.fleet_slo(now, metrics);
+                }
+                if let Some(hex) = req.path.strip_prefix("/v1/_debug/trace/") {
+                    return self.timeline(hex, now, metrics);
+                }
+                Response::error(404, "no such route")
+            }
         }
+    }
+}
+
+impl Handler for FrontRouter {
+    fn handle(&self, req: &Request, metrics: &Metrics) -> Response {
+        let route = Router::route_of(&req.path);
+        metrics.count_request(route);
+        // Same trace resolution as a shard router: header if valid, else
+        // a pure hash of the target — so front and shards agree on a
+        // headerless request's identity.
+        let ctx = Router::trace_context(req);
+        let _trace = obs::trace::enter(ctx.trace_id);
+        let _span = obs::span(route.stage());
+        let mut resp = self.dispatch(route, req, metrics, ctx);
+        if let Some(log) = metrics.trace_log() {
+            if matches!(route, Route::Graphs | Route::Bid | Route::Health) {
+                let now = self.now_of(req).unwrap_or(self.default_now);
+                log.record(ctx, now, "fleet-front", route.stage(), resp.status, "");
+            }
+        }
+        resp.extra_headers.push((obs::TRACE_HEADER, ctx.encode()));
+        resp
     }
 
     fn default_now(&self) -> u64 {
@@ -949,8 +1288,11 @@ impl Fleet {
         let mut addrs = Vec::with_capacity(cfg.shards);
         for (i, service) in services.into_iter().enumerate() {
             combos.extend(service.combos());
-            let router = Router::new(service, default_now)
+            let mut router = Router::new(service, default_now)
                 .with_instance(format!("shard-{i}"));
+            if cfg.debug_routes {
+                router = router.with_debug_routes();
+            }
             let server = Server::start(router, cfg.shard_server.clone())?;
             addrs.push(server.addr());
             shard_servers.push(Some(server));
@@ -1058,6 +1400,19 @@ mod tests {
         let raw = "GET /v1/health HTTP/1.1\r\n\r\n";
         let req = crate::http::read_request(&mut BufReader::new(raw.as_bytes())).unwrap();
         assert_eq!(target_of(&req), "/v1/health");
+    }
+
+    #[test]
+    fn label_instance_prefixes_every_sample() {
+        let text = "drafts_requests_total{route=\"bid\"} 3\ndrafts_shed_total 0\n";
+        assert_eq!(
+            label_instance(text, "shard-1"),
+            "drafts_requests_total{instance=\"shard-1\",route=\"bid\"} 3\n\
+             drafts_shed_total{instance=\"shard-1\"} 0\n"
+        );
+        // Non-sample lines pass through.
+        assert_eq!(label_instance("# comment\n", "x"), "# comment\n");
+        assert_eq!(label_instance("", "x"), "");
     }
 
     #[test]

@@ -56,6 +56,25 @@ impl Request {
             .find(|(k, _)| k == name)
             .map(|(_, v)| v.as_str())
     }
+
+    /// The request target rebuilt from path + query, in parse order.
+    /// Equal request lines produce equal targets, which is what makes a
+    /// target-derived trace id a pure function of the request.
+    pub fn target(&self) -> String {
+        if self.query.is_empty() {
+            return self.path.clone();
+        }
+        let mut out = self.path.clone();
+        for (i, (k, v)) in self.query.iter().enumerate() {
+            out.push(if i == 0 { '?' } else { '&' });
+            out.push_str(k);
+            if !v.is_empty() {
+                out.push('=');
+                out.push_str(v);
+            }
+        }
+        out
+    }
 }
 
 /// Why a request could not be parsed.
@@ -336,6 +355,7 @@ mod tests {
         assert_eq!(req.query_param("missing"), None);
         assert_eq!(req.header("host"), Some("localhost"));
         assert_eq!(req.header("x-thing"), Some("spaced value"));
+        assert_eq!(req.target(), "/v1/bid?duration=3600&p=0.95");
         assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
     }
 

@@ -20,8 +20,8 @@
 //! structured events (`/v1/_debug/events`).
 
 use obs::{
-    Counter, EventLog, Histogram, Objective, Registry, SloMonitor, Source, Tracer,
-    WindowSet,
+    Counter, EventLog, Histogram, Objective, Registry, SloMonitor, SlowestTraceCell, Source,
+    TraceLog, Tracer, WindowSet,
 };
 use std::sync::Arc;
 
@@ -192,6 +192,12 @@ pub struct Metrics {
     slo: Arc<SloMonitor>,
     /// The structured event ring, when enabled.
     events: Option<EventLog>,
+    /// The distributed-trace observation ring, when enabled
+    /// (`/v1/_debug/trace/{id}` timelines).
+    trace_log: Option<Arc<TraceLog>>,
+    /// The slowest request seen and its trace id — the SLO breach
+    /// exemplar.
+    slowest_trace: Arc<SlowestTraceCell>,
 }
 
 impl Default for Metrics {
@@ -203,23 +209,41 @@ impl Default for Metrics {
 impl Metrics {
     /// Fresh zeroed metrics, span journal and event log disabled.
     pub fn new() -> Self {
-        Metrics::build(None, 0)
+        Metrics::build(None, 0, 0, 0)
     }
 
     /// Fresh metrics with a bounded span journal of `capacity` events
     /// (served at `/v1/_debug/trace` when debug routes are on).
     pub fn with_journal(capacity: usize) -> Self {
-        Metrics::build(Some(capacity), 0)
+        Metrics::build(Some(capacity), 0, 0, 0)
     }
 
     /// Fresh metrics with both debug stores sized explicitly: a span
     /// journal of `trace_journal` events and a structured event ring of
     /// `event_log` entries (`0` disables either).
     pub fn with_observability(trace_journal: usize, event_log: usize) -> Self {
-        Metrics::build((trace_journal > 0).then_some(trace_journal), event_log)
+        Metrics::build((trace_journal > 0).then_some(trace_journal), event_log, 0, 0)
     }
 
-    fn build(journal: Option<usize>, event_log: usize) -> Self {
+    /// Fresh metrics with every observability store sized explicitly,
+    /// including the distributed-trace ring: `trace_log` records
+    /// retained, sampling 1-in-`trace_sample` trace ids (`<= 1` records
+    /// every trace; `trace_log == 0` disables tracing).
+    pub fn with_tracing(
+        trace_journal: usize,
+        event_log: usize,
+        trace_log: usize,
+        trace_sample: u64,
+    ) -> Self {
+        Metrics::build(
+            (trace_journal > 0).then_some(trace_journal),
+            event_log,
+            trace_log,
+            trace_sample,
+        )
+    }
+
+    fn build(journal: Option<usize>, event_log: usize, trace_log: usize, trace_sample: u64) -> Self {
         let registry = Registry::new();
         // Historical names first, historical order: the exposition stays
         // a strict superset of the pre-obs `/v1/metrics` output.
@@ -270,6 +294,8 @@ impl Metrics {
         windows.register_counter("degraded", &degraded_quotes);
         windows.register_counter("quotes", &quotes_total);
         let slo = Arc::new(SloMonitor::new(standing_objectives()));
+        let trace_log =
+            (trace_log > 0).then(|| Arc::new(TraceLog::new(trace_log, trace_sample)));
 
         Metrics {
             registry,
@@ -287,6 +313,8 @@ impl Metrics {
             windows,
             slo,
             events,
+            trace_log,
+            slowest_trace: Arc::new(SlowestTraceCell::new()),
         }
     }
 
@@ -313,6 +341,17 @@ impl Metrics {
     /// The structured event ring, if one was enabled at construction.
     pub fn events(&self) -> Option<&EventLog> {
         self.events.as_ref()
+    }
+
+    /// The distributed-trace ring, if tracing was enabled at
+    /// construction.
+    pub fn trace_log(&self) -> Option<&Arc<TraceLog>> {
+        self.trace_log.as_ref()
+    }
+
+    /// The slowest-request exemplar cell (latency + trace id).
+    pub fn slowest_trace(&self) -> &SlowestTraceCell {
+        &self.slowest_trace
     }
 
     /// Counts one request on `route`.

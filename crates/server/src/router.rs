@@ -17,6 +17,16 @@
 //! * `/v1/_debug/trace?n=N` — the newest `n` closed spans plus per-stage
 //!   slowest-request exemplars (debug routes only; wall clock, exempt
 //!   from byte determinism).
+//! * `/v1/_debug/trace/{trace_id}` — the distributed-trace timeline for
+//!   one request: every hop this process observed for the hex trace id,
+//!   sorted by hop (debug routes only; 404 when the trace ring is
+//!   disabled).
+//!
+//! Every response echoes the request's [`obs::TraceContext`] in the
+//! `x-drafts-trace` header: propagated verbatim when the client sent
+//! one, otherwise derived as a pure hash of the request target
+//! ([`TraceIdGen::derive`]) so even headerless requests trace
+//! deterministically.
 //!
 //! The service clock is **virtual** (the underlying service is
 //! bucket-cached simulation time): `now` defaults to the configured
@@ -29,9 +39,14 @@ use crate::metrics::{Metrics, Route};
 use crate::{json::Json, wire};
 use drafts_core::service::FeedHealth;
 use drafts_core::DraftsService;
-use obs::InstantCounts;
+use obs::{InstantCounts, TraceContext, TraceIdGen};
 use spotmarket::{Az, Catalog, Combo};
 use std::sync::Arc;
+
+/// Seed folded into target-derived trace ids for requests that arrive
+/// without an `x-drafts-trace` header. Shared by the fleet front so a
+/// headerless request hashes to the same trace id at every tier.
+pub(crate) const TRACE_DERIVE_SEED: u64 = 0xD8AF_7500_7ACE_5EED;
 
 /// The dispatcher shared by every worker.
 pub struct Router {
@@ -105,15 +120,51 @@ impl Router {
         }
     }
 
+    /// Resolves the request's trace context: the `x-drafts-trace` header
+    /// when the client (or the fleet front) sent a valid one, otherwise a
+    /// fresh root whose id is a pure hash of the request target — so the
+    /// context is always a deterministic function of the request bytes.
+    pub(crate) fn trace_context(req: &Request) -> TraceContext {
+        req.header(obs::TRACE_HEADER)
+            .and_then(TraceContext::parse)
+            .unwrap_or_else(|| {
+                TraceContext::root(TraceIdGen::derive(TRACE_DERIVE_SEED, &req.target()))
+            })
+    }
+
     /// Handles one request. Never blocks on anything but the service's
     /// own single-flight computation; may panic only on internal bugs
     /// (the worker catches and converts those to 500s).
+    ///
+    /// Wraps [`Router::dispatch`] with the cross-cutting trace plumbing:
+    /// the resolved [`TraceContext`] becomes the thread's ambient trace
+    /// (so slow-span journal entries get stamped), lands in the trace
+    /// ring for the core routes, and echoes on every response.
     pub fn handle(&self, req: &Request, metrics: &Metrics) -> Response {
         let route = Self::route_of(&req.path);
         metrics.count_request(route);
+        let ctx = Self::trace_context(req);
+        let _trace = obs::trace::enter(ctx.trace_id);
         // Root span of the request's stage tree (a no-op unless the
         // calling thread installed a tracer — workers do).
         let _span = obs::span(route.stage());
+        let mut resp = self.dispatch(route, req, metrics);
+        if let Some(log) = metrics.trace_log() {
+            // Record only the core serving routes: metrics/SLO/debug
+            // reads must stay pure observers, or reading a timeline
+            // would grow the very ring it renders.
+            if matches!(route, Route::Graphs | Route::Bid | Route::Health) {
+                let now = self.now_of(req).unwrap_or(self.default_now);
+                log.record(ctx, now, &self.instance, route.stage(), resp.status, "");
+            }
+        }
+        resp.extra_headers.push((obs::TRACE_HEADER, ctx.encode()));
+        resp
+    }
+
+    /// The route switch proper (everything [`Router::handle`] does minus
+    /// the trace plumbing).
+    fn dispatch(&self, route: Route, req: &Request, metrics: &Metrics) -> Response {
         if req.method != "GET" {
             return Response::error(405, "only GET is supported");
         }
@@ -136,6 +187,12 @@ impl Router {
                     if req.path == "/v1/_debug/panic" {
                         panic!("debug panic route hit");
                     }
+                    // The timeline route must match before the exact
+                    // journal-dump path: `/v1/_debug/trace/{id}` vs
+                    // `/v1/_debug/trace`.
+                    if let Some(hex) = req.path.strip_prefix("/v1/_debug/trace/") {
+                        return self.timeline(hex, metrics);
+                    }
                     if req.path == "/v1/_debug/trace" {
                         return Self::trace(req, metrics);
                     }
@@ -146,6 +203,27 @@ impl Router {
                 Response::error(404, "no such route")
             }
         }
+    }
+
+    /// `/v1/_debug/trace/{trace_id}` — every observation this process
+    /// retains for one hex trace id, rendered as a hop-sorted timeline.
+    /// 404 when the trace ring is disabled or holds nothing for the id;
+    /// 400 on a malformed id. Byte-deterministic: records carry virtual
+    /// time only.
+    fn timeline(&self, hex: &str, metrics: &Metrics) -> Response {
+        let Some(log) = metrics.trace_log() else {
+            return Response::error(404, "trace log disabled");
+        };
+        let Ok(trace_id) = u64::from_str_radix(hex, 16) else {
+            return Response::error(400, "trace id must be hex");
+        };
+        let records = log.for_trace(trace_id);
+        if records.is_empty() {
+            return Response::error(404, "no records for this trace");
+        }
+        let entries: Vec<wire::TraceEntry> =
+            records.iter().map(wire::TraceEntry::of).collect();
+        Response::json(200, wire::trace_timeline_json(trace_id, &entries).render())
     }
 
     /// `/v1/slo?now=` — evaluates the standing objectives over the
@@ -166,11 +244,15 @@ impl Router {
                 FeedHealth::Unavailable => freshness.bad += 1,
             }
         }
-        let statuses = metrics.slo().evaluate(
+        // The slowest-request trace id rides along as the latency
+        // breach exemplar (events only — the response body carries no
+        // wall-clock-chosen data).
+        let statuses = metrics.slo().evaluate_with_exemplar(
             now,
             metrics.windows(),
             &[("feed_freshness", freshness)],
             metrics.events(),
+            metrics.slowest_trace().slowest().1,
         );
         Response::json(200, wire::slo_json(now, &statuses).render())
     }
@@ -183,12 +265,9 @@ impl Router {
         let Some(log) = metrics.events() else {
             return Response::error(404, "event log disabled");
         };
-        let n = match req.query_param("n") {
-            None => 64,
-            Some(v) => match v.parse::<usize>() {
-                Ok(n) => n,
-                Err(_) => return Response::error(400, "n must be an integer"),
-            },
+        let n = match Self::dump_limit(req) {
+            Ok(n) => n,
+            Err(resp) => return resp,
         };
         let events = log.snapshot();
         let skip = events.len().saturating_sub(n);
@@ -206,12 +285,9 @@ impl Router {
         let Some(journal) = metrics.tracer().journal() else {
             return Response::error(404, "span journal disabled");
         };
-        let n = match req.query_param("n") {
-            None => 64,
-            Some(v) => match v.parse::<usize>() {
-                Ok(n) => n,
-                Err(_) => return Response::error(400, "n must be an integer"),
-            },
+        let n = match Self::dump_limit(req) {
+            Ok(n) => n,
+            Err(resp) => return resp,
         };
         let events = journal.snapshot();
         let skip = events.len().saturating_sub(n);
@@ -224,6 +300,7 @@ impl Router {
                     ("depth", Json::num_u64(u64::from(e.depth))),
                     ("start_ns", Json::num_u64(e.start_ns)),
                     ("dur_ns", Json::num_u64(e.dur_ns)),
+                    ("trace", Json::Str(format!("{:016x}", e.trace_id))),
                 ])
             })
             .collect();
@@ -252,6 +329,18 @@ impl Router {
             ])
             .render(),
         )
+    }
+
+    /// Parses the `?n=` window shared by the debug dump routes
+    /// (`/v1/_debug/trace`, `/v1/_debug/events`): the newest `n` entries,
+    /// defaulting to 64, 400 on anything non-integer.
+    fn dump_limit(req: &Request) -> Result<usize, Response> {
+        match req.query_param("n") {
+            None => Ok(64),
+            Some(v) => v
+                .parse::<usize>()
+                .map_err(|_| Response::error(400, "n must be an integer")),
+        }
     }
 
     fn now_of(&self, req: &Request) -> Result<u64, Response> {
@@ -644,6 +733,156 @@ mod tests {
         let (status, body) = get_with(&plain, &metrics, "/v1/_debug/events");
         assert_eq!(status, 404);
         assert!(body.contains("no such route"), "{body}");
+    }
+
+    fn send(router: &Router, metrics: &Metrics, raw: &str) -> crate::http::Response {
+        let req = crate::http::read_request(&mut std::io::BufReader::new(raw.as_bytes()))
+            .unwrap();
+        router.handle(&req, metrics)
+    }
+
+    fn trace_header(resp: &crate::http::Response) -> String {
+        resp.extra_headers
+            .iter()
+            .find(|(k, _)| *k == obs::TRACE_HEADER)
+            .map(|(_, v)| v.clone())
+            .expect("every response must echo the trace header")
+    }
+
+    #[test]
+    fn every_response_echoes_a_deterministic_trace_header() {
+        let r = router();
+        let m = Metrics::new();
+        // Headerless: the context derives from the target, so the same
+        // request line always echoes the same header — even on errors.
+        let raw = "GET /v1/bid?duration=3600 HTTP/1.1\r\n\r\n";
+        let a = trace_header(&send(&r, &m, raw));
+        let b = trace_header(&send(&r, &m, raw));
+        assert_eq!(a, b, "target-derived context must be pure");
+        let ctx = obs::TraceContext::parse(&a).unwrap();
+        assert_eq!(ctx.hop, 0, "headerless requests root the trace");
+        assert_ne!(ctx.trace_id, 0);
+        let other = trace_header(&send(&r, &m, "GET /v1/health HTTP/1.1\r\n\r\n"));
+        assert_ne!(a, other, "different targets, different traces");
+        let err = trace_header(&send(&r, &m, "GET /nope HTTP/1.1\r\n\r\n"));
+        assert_eq!(
+            err,
+            trace_header(&send(&r, &m, "GET /nope HTTP/1.1\r\n\r\n")),
+            "404s trace too"
+        );
+        let post = send(&r, &m, "POST /v1/bid?duration=3600 HTTP/1.1\r\n\r\n");
+        assert_eq!(post.status, 405);
+        trace_header(&post);
+    }
+
+    #[test]
+    fn incoming_trace_headers_propagate_verbatim() {
+        let r = router();
+        let m = Metrics::new();
+        let sent = obs::TraceContext::root(0xBEEF).child(3);
+        let raw = format!(
+            "GET /v1/health HTTP/1.1\r\nx-drafts-trace: {}\r\n\r\n",
+            sent.encode()
+        );
+        let echoed = trace_header(&send(&r, &m, &raw));
+        assert_eq!(obs::TraceContext::parse(&echoed), Some(sent));
+        // A malformed header falls back to the derived root instead of
+        // dropping the trace.
+        let raw = "GET /v1/health HTTP/1.1\r\nx-drafts-trace: garbage\r\n\r\n";
+        let ctx = obs::TraceContext::parse(&trace_header(&send(&r, &m, raw))).unwrap();
+        assert_eq!(ctx.hop, 0);
+        assert_ne!(ctx.trace_id, 0);
+    }
+
+    #[test]
+    fn timeline_route_reconstructs_recorded_hops() {
+        let r = router().with_debug_routes();
+        // Ring off: explicit 404.
+        let resp = send(&r, &Metrics::new(), "GET /v1/_debug/trace/ab HTTP/1.1\r\n\r\n");
+        assert_eq!(resp.status, 404);
+        assert!(String::from_utf8(resp.body).unwrap().contains("trace log disabled"));
+        // Ring on: core-route requests record; the timeline renders them.
+        let m = Metrics::with_tracing(0, 0, 64, 0);
+        let sent = obs::TraceContext::root(0xF00D);
+        let raw = format!(
+            "GET /v1/health HTTP/1.1\r\nx-drafts-trace: {}\r\n\r\n",
+            sent.encode()
+        );
+        assert_eq!(send(&r, &m, &raw).status, 200);
+        let (status, body) =
+            get_with(&r, &m, &format!("/v1/_debug/trace/{:x}", sent.trace_id));
+        assert_eq!(status, 200);
+        let doc = Json::parse(&body).unwrap();
+        assert_eq!(doc.get("trace").unwrap().as_str(), Some("000000000000f00d"));
+        let records = doc.get("records").unwrap().as_arr().unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].get("stage").unwrap().as_str(), Some("http_health"));
+        assert_eq!(records[0].get("status").unwrap().as_u64(), Some(200));
+        assert_eq!(records[0].get("now").unwrap().as_u64(), Some(20 * DAY));
+        // Two reads render byte-identically (reads don't grow the ring).
+        let again = get_with(&r, &m, &format!("/v1/_debug/trace/{:x}", sent.trace_id));
+        assert_eq!((status, body), again);
+        // Edge cases: bad hex 400, unknown trace 404.
+        assert_eq!(get_with(&r, &m, "/v1/_debug/trace/zz").0, 400);
+        assert_eq!(get_with(&r, &m, "/v1/_debug/trace/1234").0, 404);
+        // Debug routes off: plain 404.
+        let plain = router();
+        let (status, body) = get_with(&plain, &m, "/v1/_debug/trace/f00d");
+        assert_eq!(status, 404);
+        assert!(body.contains("no such route"), "{body}");
+    }
+
+    #[test]
+    fn debug_reads_never_record_into_the_trace_ring() {
+        let r = router().with_debug_routes();
+        let m = Metrics::with_tracing(0, 8, 64, 0);
+        let log = m.trace_log().unwrap().clone();
+        for target in ["/v1/metrics", "/v1/slo", "/v1/_debug/events"] {
+            let raw = format!("GET {target} HTTP/1.1\r\n\r\n");
+            send(&r, &m, &raw);
+        }
+        assert_eq!(log.total(), 0, "observer routes must not self-record");
+        send(&r, &m, "GET /v1/bid?duration=3600 HTTP/1.1\r\n\r\n");
+        assert_eq!(log.total(), 1, "core routes record one hop each");
+    }
+
+    #[test]
+    fn dump_routes_share_n_parsing_edge_cases() {
+        // Satellite: both debug dumps go through the same `dump_limit`
+        // helper — identical 400s on malformed `n`, identical defaults.
+        let r = router().with_debug_routes();
+        let m = Metrics::with_observability(16, 16);
+        for route in ["/v1/_debug/trace", "/v1/_debug/events"] {
+            let (status, body) = get_with(&r, &m, &format!("{route}?n=abc"));
+            assert_eq!(status, 400, "{route} must 400 on non-integer n");
+            assert!(body.contains("n must be an integer"), "{route}: {body}");
+            let (status, _) = get_with(&r, &m, &format!("{route}?n=-1"));
+            assert_eq!(status, 400, "{route} must 400 on negative n");
+            let (status, _) = get_with(&r, &m, &format!("{route}?n=0"));
+            assert_eq!(status, 200, "{route} serves an empty window for n=0");
+            let (status, _) = get_with(&r, &m, route);
+            assert_eq!(status, 200, "{route} defaults n");
+        }
+    }
+
+    #[test]
+    fn slow_span_journal_entries_carry_the_ambient_trace_id() {
+        let r = router();
+        let m = Metrics::with_journal(16);
+        let _guard = m.tracer().install();
+        let sent = obs::TraceContext::root(0xCAFE);
+        let raw = format!(
+            "GET /v1/bid?duration=3600 HTTP/1.1\r\nx-drafts-trace: {}\r\n\r\n",
+            sent.encode()
+        );
+        assert_eq!(send(&r, &m, &raw).status, 200);
+        let journal = m.tracer().journal().unwrap();
+        let snap = journal.snapshot();
+        assert!(!snap.is_empty(), "the request's spans must journal");
+        assert!(
+            snap.iter().all(|e| e.trace_id == 0xCAFE),
+            "journaled spans stamp the ambient trace id: {snap:?}"
+        );
     }
 
     #[test]

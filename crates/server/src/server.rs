@@ -87,6 +87,15 @@ pub struct ServerConfig {
     /// the ring collects health transitions, feed faults, snapshot swaps,
     /// SLO transitions, shed, and drain events.
     pub event_log: usize,
+    /// Distributed-trace ring capacity in records; `0` disables trace
+    /// recording (the default — requests still propagate and echo the
+    /// `x-drafts-trace` header, only the per-hop observation ring and
+    /// the `/v1/_debug/trace/{id}` timeline are off).
+    pub trace_log: usize,
+    /// Trace sampling modulus: record a trace iff
+    /// `trace_id % trace_sample == 0` (`<= 1` records every trace). A
+    /// pure function of the id, so sampling never breaks determinism.
+    pub trace_sample: u64,
 }
 
 impl Default for ServerConfig {
@@ -100,6 +109,8 @@ impl Default for ServerConfig {
             debug_routes: false,
             trace_journal: 0,
             event_log: 0,
+            trace_log: 0,
+            trace_sample: 0,
         }
     }
 }
@@ -231,7 +242,12 @@ impl Server {
         assert!(cfg.accept_queue >= 1, "need a non-empty accept queue");
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        let metrics = Metrics::with_observability(cfg.trace_journal, cfg.event_log);
+        let metrics = Metrics::with_tracing(
+            cfg.trace_journal,
+            cfg.event_log,
+            cfg.trace_log,
+            cfg.trace_sample,
+        );
         // The handler registers its own counters (service cache/health/
         // fault families, fleet routing counters) in the same registry, at
         // boot, so the exposition order is canonical; event sinks attach
@@ -446,10 +462,20 @@ fn serve_connection(conn: TcpStream, shared: &Shared) {
         // Recorded before the status counter so a sequential client's
         // `/v1/metrics` read always includes its previous request in both
         // families (the two-boot byte diff depends on that ordering).
-        shared
-            .metrics
-            .request_latency
-            .record_ns(watch.elapsed().as_nanos() as u64);
+        let elapsed_ns = watch.elapsed().as_nanos() as u64;
+        shared.metrics.request_latency.record_ns(elapsed_ns);
+        // The router echoes the request's trace context as a response
+        // header; feed it to the slowest-request exemplar so an SLO
+        // latency breach can name the trace that ate the budget.
+        if let Some((_, enc)) = resp
+            .extra_headers
+            .iter()
+            .find(|(k, _)| *k == obs::TRACE_HEADER)
+        {
+            if let Some(ctx) = obs::TraceContext::parse(enc) {
+                shared.metrics.slowest_trace().offer(elapsed_ns, ctx.trace_id);
+            }
+        }
         shared.metrics.count_status(resp.status);
         // Close after this response if the client asked, the per-conn
         // request budget is spent, or a drain has begun.

@@ -14,6 +14,10 @@
 //!   "slow_burn_bp","fast_good","fast_total"}]}`
 //! * events — `{"capacity","events":[{"seq","now","level","kind",
 //!   "fields":{...}}]}`
+//! * trace timeline — `{"trace","records":[{"instance","hop","span",
+//!   "parent","now","stage","status","detail"}]}` (hop-major, then
+//!   instance-name order — a stable sort, so the rendering is
+//!   independent of which process's ring the records came from)
 //!
 //! `degraded: true` mirrors PR 3's feed-health semantics exactly: it is
 //! set iff the backing response is [`FeedHealth::Unavailable`], i.e. the
@@ -23,7 +27,7 @@
 use crate::json::Json;
 use drafts_core::service::{BidQuote, ComboHealth, FeedHealth, GraphsResponse};
 use drafts_core::BidDurationGraph;
-use obs::{LogEvent, SloStatus};
+use obs::{LogEvent, SloStatus, TraceRecord};
 use spotmarket::{Catalog, Combo, Price};
 
 /// Bid prices cross the wire in dollars at tick (1/10000 USD) precision.
@@ -210,6 +214,89 @@ pub fn events_json(capacity: usize, events: &[LogEvent]) -> Json {
     ])
 }
 
+/// One hop of a distributed-trace timeline: a [`TraceRecord`] in wire
+/// form, used both to render `/v1/_debug/trace/{id}` and to decode a
+/// shard's timeline at the fleet front for merging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Recording process (`fleet-front`, `shard-2`, ...).
+    pub instance: String,
+    /// Hop depth in the trace.
+    pub hop: u64,
+    /// Span id, zero-padded hex.
+    pub span: String,
+    /// Parent span id, zero-padded hex (all zeros at the root).
+    pub parent: String,
+    /// Virtual request time.
+    pub now: u64,
+    /// Pipeline stage or proxy-leg label.
+    pub stage: String,
+    /// HTTP status of the leg's outcome.
+    pub status: u64,
+    /// Free-form attribution (`"owner=shard-1 leg=0"`, ...).
+    pub detail: String,
+}
+
+impl TraceEntry {
+    /// The wire form of one in-process observation.
+    pub fn of(r: &TraceRecord) -> TraceEntry {
+        TraceEntry {
+            instance: r.instance.clone(),
+            hop: u64::from(r.hop),
+            span: format!("{:016x}", r.span_id),
+            parent: format!("{:016x}", r.parent_span),
+            now: r.now,
+            stage: r.stage.to_string(),
+            status: u64::from(r.status),
+            detail: r.detail.clone(),
+        }
+    }
+
+    /// Decodes one record of a timeline document.
+    pub fn from_json(doc: &Json) -> Option<TraceEntry> {
+        Some(TraceEntry {
+            instance: doc.get("instance")?.as_str()?.to_string(),
+            hop: doc.get("hop")?.as_u64()?,
+            span: doc.get("span")?.as_str()?.to_string(),
+            parent: doc.get("parent")?.as_str()?.to_string(),
+            now: doc.get("now")?.as_u64()?,
+            stage: doc.get("stage")?.as_str()?.to_string(),
+            status: doc.get("status")?.as_u64()?,
+            detail: doc.get("detail")?.as_str()?.to_string(),
+        })
+    }
+
+    fn json(&self) -> Json {
+        Json::obj(vec![
+            ("instance", Json::Str(self.instance.clone())),
+            ("hop", Json::num_u64(self.hop)),
+            ("span", Json::Str(self.span.clone())),
+            ("parent", Json::Str(self.parent.clone())),
+            ("now", Json::num_u64(self.now)),
+            ("stage", Json::Str(self.stage.clone())),
+            ("status", Json::num_u64(self.status)),
+            ("detail", Json::Str(self.detail.clone())),
+        ])
+    }
+}
+
+/// Encodes a `/v1/_debug/trace/{id}` timeline. Entries sort hop-major,
+/// then by instance name, with a **stable** sort — ties (same hop, same
+/// instance) keep ring insertion order. The rendering therefore depends
+/// only on the set of observations, not on which process contributed
+/// which — the property the front's cross-process merge relies on.
+pub fn trace_timeline_json(trace_id: u64, entries: &[TraceEntry]) -> Json {
+    let mut sorted: Vec<&TraceEntry> = entries.iter().collect();
+    sorted.sort_by(|a, b| (a.hop, &a.instance).cmp(&(b.hop, &b.instance)));
+    Json::obj(vec![
+        ("trace", Json::Str(format!("{trace_id:016x}"))),
+        (
+            "records",
+            Json::Arr(sorted.iter().map(|e| e.json()).collect()),
+        ),
+    ])
+}
+
 /// A decoded `/v1/bid` quote (the client-side mirror of [`BidQuote`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BidQuoteWire {
@@ -385,6 +472,61 @@ mod tests {
         let fields = events[0].get("fields").unwrap();
         assert_eq!(fields.get("from").unwrap().as_str(), Some("fresh"));
         assert_eq!(fields.get("to").unwrap().as_str(), Some("stale"));
+    }
+
+    #[test]
+    fn trace_timeline_round_trips_and_sorts_hop_major() {
+        use obs::TraceContext;
+        let root = TraceContext::root(0xABC);
+        let leg = root.child(0);
+        let records = [
+            TraceRecord {
+                trace_id: leg.trace_id,
+                span_id: leg.span_id,
+                parent_span: leg.parent_span,
+                hop: leg.hop,
+                now: 900,
+                instance: "shard-1".to_string(),
+                stage: "http_bid",
+                status: 200,
+                detail: "leg=0".to_string(),
+            },
+            TraceRecord {
+                trace_id: root.trace_id,
+                span_id: root.span_id,
+                parent_span: root.parent_span,
+                hop: root.hop,
+                now: 900,
+                instance: "fleet-front".to_string(),
+                stage: "front_bid",
+                status: 200,
+                detail: String::new(),
+            },
+        ];
+        let entries: Vec<TraceEntry> = records.iter().map(TraceEntry::of).collect();
+        let rendered = trace_timeline_json(0xABC, &entries).render();
+        let doc = Json::parse(&rendered).unwrap();
+        assert_eq!(doc.get("trace").unwrap().as_str(), Some("0000000000000abc"));
+        let out = doc.get("records").unwrap().as_arr().unwrap();
+        // Hop-major order: the front's root hop renders first even though
+        // the shard's record came first in the input.
+        assert_eq!(out[0].get("instance").unwrap().as_str(), Some("fleet-front"));
+        assert_eq!(out[0].get("hop").unwrap().as_u64(), Some(0));
+        assert_eq!(out[1].get("instance").unwrap().as_str(), Some("shard-1"));
+        assert_eq!(out[1].get("hop").unwrap().as_u64(), Some(1));
+        // The shard hop chains to the front's span.
+        assert_eq!(
+            out[1].get("parent").unwrap().as_str(),
+            out[0].get("span").unwrap().as_str()
+        );
+        // Decode round-trips every field.
+        let decoded: Vec<TraceEntry> =
+            out.iter().map(|d| TraceEntry::from_json(d).unwrap()).collect();
+        assert_eq!(decoded[0], entries[1]);
+        assert_eq!(decoded[1], entries[0]);
+        // Byte-deterministic regardless of input order.
+        let flipped: Vec<TraceEntry> = entries.iter().rev().cloned().collect();
+        assert_eq!(rendered, trace_timeline_json(0xABC, &flipped).render());
     }
 
     #[test]

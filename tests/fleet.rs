@@ -322,6 +322,105 @@ fn losing_every_owner_refuses_explicitly_instead_of_guessing() {
 }
 
 #[test]
+fn fleet_rollups_and_timelines_are_two_boot_identical_with_tracing_on() {
+    // The determinism contract extended to the observability plane:
+    // with tracing rings enabled and chaos expressed as a seeded
+    // logical fault plan, two independently booted fleets answer the
+    // fleet rollups and every merged per-request timeline with
+    // identical bytes — and the silently-stale audit still holds with
+    // tracing on. The only quarantined lines are the wall-clock `*_ns`
+    // histogram families in the metrics exposition (span and latency
+    // durations are real nanoseconds, the one explicitly wall-clock
+    // artifact); every other exposition line must match byte-for-byte.
+    let mut cfg = FleetConfig::new(3);
+    cfg.faults = ShardFaults::sample(SEED, 3, (NOW, NOW + 240), 1, 0, 1);
+    cfg.debug_routes = true;
+    cfg.shard_server.trace_log = 1024;
+    cfg.front_server.trace_log = 1024;
+    let (fleet_a, combos) = boot(cfg.clone());
+    let (fleet_b, _) = boot(cfg.clone());
+    let mut a = loadgen::Client::new(fleet_a.addr(), Duration::from_secs(5));
+    let mut b = loadgen::Client::new(fleet_b.addr(), Duration::from_secs(5));
+
+    // Drive both fleets with the identical traced request sequence,
+    // marching across the fault window; every response matches.
+    let mut paths = Vec::new();
+    for now in (NOW..NOW + 240).step_by(30) {
+        for &combo in &combos {
+            paths.push(graphs_path(combo, now));
+        }
+        paths.push(format!("/v1/bid?duration=3600&p=0.95&now={now}"));
+        paths.push(format!("/v1/health?now={now}"));
+    }
+    let trace_of = |path: &str| obs::TraceIdGen::derive(SEED, path);
+    for path in &paths {
+        let ctx = obs::TraceContext::root(trace_of(path)).encode();
+        let ra = a.get_traced(path, Some(&ctx)).expect("fleet A");
+        let rb = b.get_traced(path, Some(&ctx)).expect("fleet B");
+        assert_eq!(ra, rb, "boots diverged on {path}");
+    }
+
+    // Every request's fleet-merged timeline reconstructs to identical
+    // bytes on both boots (queried at the pre-onset now so every shard
+    // contributes to the merge).
+    for path in &paths {
+        let tpath = format!("/v1/_debug/trace/{:016x}?now={NOW}", trace_of(path));
+        let ra = a.get(&tpath).expect("fleet A timeline");
+        let rb = b.get(&tpath).expect("fleet B timeline");
+        assert_eq!(ra.0, 200, "timeline lost for {path}");
+        assert_eq!(ra, rb, "timelines diverged for {path}");
+    }
+
+    // The SLO rollup is fully deterministic: burn rates and window
+    // counts are virtual-time functions of the request sequence.
+    let spath = format!("/v1/fleet/slo?now={}", NOW + 240);
+    let ra = a.get(&spath).expect("fleet A slo");
+    let rb = b.get(&spath).expect("fleet B slo");
+    assert_eq!(ra.0, 200);
+    assert_eq!(ra, rb, "SLO rollups diverged");
+    let slo = Json::parse(std::str::from_utf8(&ra.1).unwrap()).expect("slo json");
+    let instances = slo.get("instances").and_then(Json::as_arr).expect("instances");
+    assert_eq!(instances.len(), 1 + cfg.shards, "front + every shard");
+
+    // The metrics rollup matches byte-for-byte outside the wall-clock
+    // `*_ns` histogram families, and labels every sample by instance.
+    let mpath = format!("/v1/fleet/metrics?now={}", NOW + 240);
+    let (sa, ba) = a.get(&mpath).expect("fleet A metrics");
+    let (sb, bb) = b.get(&mpath).expect("fleet B metrics");
+    assert_eq!((sa, sb), (200, 200));
+    let deterministic = |body: &[u8]| -> String {
+        std::str::from_utf8(body)
+            .expect("utf8 exposition")
+            .lines()
+            .filter(|line| !line.contains("_ns"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let (da, db) = (deterministic(&ba), deterministic(&bb));
+    assert_eq!(da, db, "metrics rollups diverged outside wall-clock families");
+    for instance in ["front", "shard-0", "shard-1", "shard-2"] {
+        assert!(
+            da.contains(&format!("instance=\"{instance}\"")),
+            "rollup missing {instance}"
+        );
+        assert!(
+            da.contains(&format!("drafts_fleet_instance_up{{instance=\"{instance}\"}}")),
+            "rollup missing up marker for {instance}"
+        );
+    }
+
+    // The silently-stale audit passes with tracing on: past every fault
+    // onset, answers are still fresh-from-primary or explicitly tagged.
+    for &combo in &combos {
+        let (status, doc) = get(&mut a, &graphs_path(combo, NOW + 240));
+        assert_fresh_or_tagged(&cfg, combo, status, &doc);
+    }
+
+    fleet_a.shutdown();
+    fleet_b.shutdown();
+}
+
+#[test]
 fn two_boots_answer_identical_bytes_under_seeded_chaos() {
     // The determinism contract extended to the fleet: with chaos
     // expressed as a seeded logical fault plan evaluated in virtual
